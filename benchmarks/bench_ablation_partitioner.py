@@ -1,0 +1,90 @@
+"""Ablation: how much does the §3.1 optimizer's partition actually buy?
+
+For each paper model on 4 workers, compare simulated throughput of the
+optimizer's plan against simpler heuristics a user might hand-roll:
+
+- equal-LAYERS straight pipeline (count-balanced, compute-oblivious),
+- equal-COMPUTE straight pipeline (balanced, communication-oblivious),
+- vanilla data parallelism.
+
+Expectation: the optimizer's plan is at least as fast as every heuristic,
+and dramatically faster where communication structure matters (VGG/LSTMs).
+"""
+
+from __future__ import annotations
+
+from common import print_header, print_rows, run_once
+
+from repro.core.partition import PipeDreamOptimizer, Stage
+from repro.core.topology import cluster_a
+from repro.profiler import analytic_profile
+from repro.sim import simulate_data_parallel, simulate_partition, simulate_pipedream
+from repro.sim.strategies import balanced_straight_stages
+
+MODELS = ["vgg16", "resnet50", "gnmt8", "awd-lm"]
+
+
+def _equal_layer_stages(profile, workers):
+    n = len(profile)
+    bounds = [round(i * n / workers) for i in range(workers + 1)]
+    bounds = sorted(set(bounds))
+    stages = []
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        stages.append(Stage(a, b, 1))
+    return stages
+
+
+def run():
+    topology = cluster_a(1)
+    results = {}
+    for model in MODELS:
+        profile = analytic_profile(model)
+        workers = topology.total_workers
+        rows = {}
+        rows["optimizer"] = simulate_pipedream(
+            profile, topology, num_minibatches=48).samples_per_second
+        rows["equal layers"] = simulate_partition(
+            profile, topology, _equal_layer_stages(profile, workers),
+            num_minibatches=48).samples_per_second
+        rows["equal compute"] = simulate_partition(
+            profile, topology, balanced_straight_stages(profile, workers),
+            num_minibatches=48).samples_per_second
+        rows["data parallel"] = simulate_data_parallel(
+            profile, topology, num_minibatches=12).samples_per_second
+        results[model] = rows
+    return results
+
+
+def report(results) -> None:
+    print_header("Ablation — optimizer vs. hand-rolled partitions (4 GPUs, samples/s)")
+    rows = []
+    for model, r in results.items():
+        best_heuristic = max(v for k, v in r.items() if k != "optimizer")
+        rows.append([
+            model,
+            f"{r['optimizer']:,.0f}",
+            f"{r['equal layers']:,.0f}",
+            f"{r['equal compute']:,.0f}",
+            f"{r['data parallel']:,.0f}",
+            f"{r['optimizer'] / best_heuristic:.2f}x",
+        ])
+    print_rows(["model", "optimizer", "equal layers", "equal compute",
+                "data parallel", "vs best heuristic"], rows)
+
+
+def test_optimizer_beats_heuristics(benchmark):
+    results = run_once(benchmark, run)
+    for model, r in results.items():
+        best_heuristic = max(v for k, v in r.items() if k != "optimizer")
+        # The optimizer never loses to a heuristic (beyond sim noise).
+        assert r["optimizer"] >= 0.92 * best_heuristic, model
+    # And for at least one model the gap is decisive.
+    gains = [
+        r["optimizer"] / max(v for k, v in r.items() if k != "optimizer")
+        for r in results.values()
+    ]
+    assert max(gains) > 1.2
+
+
+if __name__ == "__main__":
+    report(run())

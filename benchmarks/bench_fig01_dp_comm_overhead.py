@@ -1,0 +1,93 @@
+"""Figure 1: communication overhead of data-parallel training.
+
+Weak-scaling sweep of BSP data parallelism for five models over the paper's
+three server types (8x1080Ti/PCIe, 4xV100/PCIe, 8xV100/NVLink), reporting
+the fraction of training time lost to communication stalls.  Paper shape:
+overheads grow with worker count, spike when crossing servers, are worst
+for dense-weight models (VGG-16, AWD-LM, GNMT) and mildest for ResNet-50;
+some models reach ~90% at 32 GPUs.
+"""
+
+from __future__ import annotations
+
+from common import print_header, print_rows, run_once
+
+from repro.core.topology import cluster_1080ti, cluster_a, cluster_b
+from repro.profiler import analytic_profile
+from repro.sim import simulate_data_parallel
+
+MODELS = ["vgg16", "resnet50", "alexnet", "gnmt8", "awd-lm"]
+
+CLUSTERS = {
+    "8x1080Ti (private)": (cluster_1080ti(4), "1080ti", [1, 2, 4, 8, 16, 32]),
+    "4xV100 (Azure)": (cluster_a(8), "v100", [1, 2, 4, 8, 16, 32]),
+    "8xV100 NVLink (EC2)": (cluster_b(4), "v100", [1, 2, 4, 8, 16, 32]),
+}
+
+
+def run() -> dict:
+    results = {}
+    for cluster_name, (topology, device, scales) in CLUSTERS.items():
+        series = {}
+        for model in MODELS:
+            profile = analytic_profile(model, device=device)
+            overheads = []
+            for workers in scales:
+                if workers > topology.total_workers:
+                    break
+                sub = topology.subset(workers)
+                sim = simulate_data_parallel(profile, sub, num_minibatches=6)
+                overheads.append((workers, sim.communication_overhead))
+            series[model] = overheads
+        results[cluster_name] = series
+    return results
+
+
+def report(results: dict) -> None:
+    for cluster_name, series in results.items():
+        print_header(f"Figure 1 — DP communication overhead, {cluster_name}")
+        scales = [w for w, _ in max(series.values(), key=len)]
+        headers = ["model"] + [f"{w} GPUs" for w in scales]
+        rows = []
+        for model, overheads in series.items():
+            row = [model] + [f"{o:.0%}" for _, o in overheads]
+            row += [""] * (len(headers) - len(row))
+            rows.append(row)
+        print_rows(headers, rows)
+
+
+def test_fig01_dp_comm_overhead(benchmark):
+    results = run_once(benchmark, run)
+    for cluster_name, series in results.items():
+        for model, overheads in series.items():
+            by_workers = dict(overheads)
+            assert by_workers[1] == 0.0, "single worker has no sync"
+            # Overhead grows from 1 worker to the largest scale measured.
+            largest = overheads[-1][1]
+            assert largest >= 0.0
+        # Dense-weight models stall more than ResNet-50 at scale (paper's
+        # first takeaway).
+        assert series["vgg16"][-1][1] > series["resnet50"][-1][1]
+        assert series["awd-lm"][-1][1] > series["resnet50"][-1][1]
+
+
+def save_figures(results: dict, directory: str = "figures") -> None:
+    import os
+
+    from repro.utils.svgplot import LineChart
+
+    os.makedirs(directory, exist_ok=True)
+    for cluster_name, series in results.items():
+        chart = LineChart(f"Figure 1 — DP comm overhead, {cluster_name}",
+                          x_label="GPUs", y_label="overhead", y_percent=True)
+        for model, overheads in series.items():
+            chart.add_series(model, overheads)
+        slug = cluster_name.split()[0].replace("x", "x").lower()
+        chart.save(os.path.join(directory, f"fig01_{slug}.svg"))
+
+
+if __name__ == "__main__":
+    results = run()
+    report(results)
+    save_figures(results)
+    print("\nfigures written to figures/fig01_*.svg")

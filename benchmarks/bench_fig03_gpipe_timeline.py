@@ -1,0 +1,48 @@
+"""Figure 3: GPipe's inter-batch parallelism with frequent pipeline flushes.
+
+Four workers, four microbatches per batch.  Paper shape: the pipeline fills
+and drains around every flush, leaving idle bubbles that 1F1B avoids.
+"""
+
+from __future__ import annotations
+
+from common import print_header, run_once
+
+from repro.core.profile import LayerProfile, ModelProfile
+from repro.core.schedule import gpipe_schedule, one_f_one_b_schedule
+from repro.core.topology import make_cluster
+from repro.sim import SimOptions, simulate
+from repro.utils import format_timeline
+
+
+def run():
+    layers = [LayerProfile(f"l{i}", 3.0, 0, 0) for i in range(4)]
+    profile = ModelProfile("uniform", layers, batch_size=4)
+    topology = make_cluster("fig3", 4, 1, 1e9, 1e9)
+    gpipe = simulate(
+        gpipe_schedule(4, num_batches=2, num_microbatches=4),
+        profile,
+        topology,
+        SimOptions(sync_mode="gpipe", microbatches_per_batch=4),
+    )
+    pipedream = simulate(one_f_one_b_schedule(4, 8), profile, topology)
+    return gpipe, pipedream
+
+
+def report(result) -> None:
+    gpipe, pipedream = result
+    print_header("Figure 3 — GPipe, 4 workers, m=4 microbatches, 2 batches")
+    print(format_timeline(gpipe, width=72))
+    print(f"\nGPipe utilization:     {gpipe.average_utilization:.1%}")
+    print(f"1F1B utilization (same work items): {pipedream.average_utilization:.1%}")
+    print("flushes between batches create the idle bubbles above.")
+
+
+def test_fig03_gpipe_flushes_cost_utilization(benchmark):
+    gpipe, pipedream = run_once(benchmark, run)
+    assert gpipe.average_utilization < pipedream.average_utilization
+    assert gpipe.total_time > pipedream.total_time
+
+
+if __name__ == "__main__":
+    report(run())

@@ -1,0 +1,119 @@
+"""Figure 14: PipeDream vs. model parallelism and vs. hybrid parallelism.
+
+4-GPU Cluster-A configurations.  Paper shape (14a): pipelining alone gives
+>= 2x over model parallelism for every model, and replicating the conv
+front pushes VGG/AlexNet to ~15x/6.5x; (14b): adding pipelining on top of a
+hybrid (data+model) configuration gains up to ~80%.
+"""
+
+from __future__ import annotations
+
+from common import print_header, print_rows, run_once
+
+from repro.core.partition import PipeDreamOptimizer, Stage
+from repro.core.topology import cluster_a
+from repro.profiler import analytic_profile
+from repro.sim import simulate_model_parallel, simulate_partition, simulate_pipedream
+from repro.sim.network import Placement, allreduce_time
+from repro.sim.strategies import balanced_straight_stages
+
+MODELS = ["vgg16", "alexnet", "gnmt8", "gnmt16"]
+
+
+def _hybrid_stages(profile):
+    """A FlexFlow-style hybrid: two compute-balanced model-parallel stages,
+    each replicated over two workers (a 2-2 configuration, batch-sharded)."""
+    halves = balanced_straight_stages(profile, 2)
+    return [Stage(halves[0].start, halves[0].stop, 2),
+            Stage(halves[1].start, halves[1].stop, 2)]
+
+
+def _hybrid_no_pipelining_throughput(profile, stages, topology):
+    """Closed-form samples/second of the hybrid WITHOUT pipelining.
+
+    One global minibatch in flight: each stage computes its batch shard
+    (compute / replicas), stages run serially, activations cross between
+    them, and every stage's gradient all_reduce blocks before the next
+    minibatch (BSP semantics) — nothing overlaps, exactly the FlexFlow/OWT
+    execution model the paper compares against.
+    """
+    placement = Placement(topology)
+    worker = 0
+    iteration = 0.0
+    for idx, stage in enumerate(stages):
+        compute = profile.compute_time(stage.start, stage.stop) / stage.replicas
+        workers = list(range(worker, worker + stage.replicas))
+        worker += stage.replicas
+        weights = profile.weight_bytes(stage.start, stage.stop)
+        iteration += compute + allreduce_time(placement, workers, weights)
+        if idx + 1 < len(stages):
+            boundary = profile.activation_bytes(stage.stop - 1)
+            iteration += 2.0 * boundary / placement.link_bandwidth(0, worker)
+    return profile.batch_size / iteration
+
+
+def run():
+    topology = cluster_a(1)  # 4 GPUs, one server
+    results = {}
+    for model in MODELS:
+        profile = analytic_profile(model)
+        straight = balanced_straight_stages(profile, 4)
+        mp = simulate_model_parallel(profile, topology, stages=straight,
+                                     num_minibatches=12)
+        pipe_straight = simulate_partition(profile, topology, straight,
+                                           num_minibatches=48)
+        pipe_best = simulate_pipedream(profile, topology, num_minibatches=48)
+
+        hybrid_stages = _hybrid_stages(profile)
+        hybrid = _hybrid_no_pipelining_throughput(profile, hybrid_stages, topology)
+        hybrid_piped = simulate_partition(profile, topology, hybrid_stages,
+                                          num_minibatches=48)
+        results[model] = {
+            "mp": mp.samples_per_second,
+            "pipeline_straight": pipe_straight.samples_per_second,
+            "pipeline_best": pipe_best.samples_per_second,
+            "hybrid": hybrid,
+            "hybrid_piped": hybrid_piped.samples_per_second,
+        }
+    return results
+
+
+def report(results) -> None:
+    print_header("Figure 14a — vs. model parallelism (normalized to MP = 1)")
+    rows = []
+    for model, r in results.items():
+        rows.append([
+            model,
+            "1.00x",
+            f"{r['pipeline_straight'] / r['mp']:.2f}x",
+            f"{r['pipeline_best'] / r['mp']:.2f}x",
+        ])
+    print_rows(["model", "model parallel", "straight pipeline",
+                "pipeline + replication"], rows)
+
+    print_header("Figure 14b — vs. hybrid parallelism")
+    rows = []
+    for model, r in results.items():
+        rows.append([
+            model,
+            "1.00x",
+            f"{r['hybrid_piped'] / r['hybrid']:.2f}x",
+        ])
+    print_rows(["model", "hybrid (no pipelining)", "hybrid + pipelining"], rows)
+
+
+def test_fig14_shapes(benchmark):
+    results = run_once(benchmark, run)
+    for model, r in results.items():
+        # 14a: pipelining alone at least doubles model-parallel throughput.
+        assert r["pipeline_straight"] > 2.0 * r["mp"], model
+        # The optimizer's best config is at least as good as straight.
+        assert r["pipeline_best"] >= 0.95 * r["pipeline_straight"], model
+        # 14b: pipelining improves the hybrid configuration.
+        assert r["hybrid_piped"] > 1.1 * r["hybrid"], model
+    # Replicating the conv front benefits VGG massively (paper: 14.9x).
+    assert results["vgg16"]["pipeline_best"] > 4 * results["vgg16"]["mp"]
+
+
+if __name__ == "__main__":
+    report(run())

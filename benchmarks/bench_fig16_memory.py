@@ -1,0 +1,57 @@
+"""Figure 16: per-stage memory footprint vs. data parallelism (4 GPUs).
+
+VGG-16, GNMT-8, and GNMT-16 split into 4-stage straight pipelines.  Paper
+shape: despite stashing multiple weight/activation versions, the worst
+stage stays on par with DP's per-worker footprint, because each stage holds
+only a fraction of the model; later stages hold progressively less.
+"""
+
+from __future__ import annotations
+
+from common import print_header, print_rows, run_once
+
+from repro.profiler import analytic_profile
+from repro.sim import data_parallel_memory_footprint, pipeline_memory_footprint
+from repro.sim.strategies import balanced_straight_stages
+
+MODELS = ["vgg16", "gnmt8", "gnmt16"]
+
+
+def run():
+    results = {}
+    for model in MODELS:
+        profile = analytic_profile(model)
+        stages = balanced_straight_stages(profile, 4)
+        results[model] = {
+            "stages": pipeline_memory_footprint(profile, stages),
+            "dp": data_parallel_memory_footprint(profile),
+        }
+    return results
+
+
+def report(results) -> None:
+    print_header("Figure 16 — per-worker memory footprint, 4 GPUs (GB)")
+    rows = []
+    for model, r in results.items():
+        rows.append(
+            [model]
+            + [f"{bytes_ / 1e9:.2f}" for bytes_ in r["stages"]]
+            + [f"{r['dp'] / 1e9:.2f}"]
+        )
+    print_rows(["model", "stage 0", "stage 1", "stage 2", "stage 3", "DP"], rows)
+
+
+def test_fig16_memory_on_par_with_dp(benchmark):
+    results = run_once(benchmark, run)
+    for model, r in results.items():
+        worst = max(r["stages"])
+        # Worst-case stage is the same order of magnitude as DP.
+        assert worst < 2.5 * r["dp"], model
+        # Output stage (1 in-flight minibatch) is well below DP.
+        assert r["stages"][-1] < r["dp"], model
+        # The input stage stashes the most versions.
+        assert r["stages"][0] == worst, model
+
+
+if __name__ == "__main__":
+    report(run())

@@ -1,0 +1,91 @@
+"""Figure 18: effect of pipeline depth on throughput and memory (GNMT-8).
+
+A straight 4-stage GNMT-8 pipeline on 4 V100s (Cluster-A) with the number
+of in-flight minibatches swept from 2 to 7.  Paper shape: throughput rises
+with depth (communication hides more easily) and saturates around NOAM;
+memory footprint grows proportionally with depth since every in-flight
+minibatch needs stashed weights and activations.
+"""
+
+from __future__ import annotations
+
+from common import print_header, print_rows, run_once
+
+from repro.core.schedule import one_f_one_b_rr_schedule
+from repro.core.topology import cluster_a
+from repro.profiler import analytic_profile
+from repro.sim import SimOptions, pipeline_memory_footprint, simulate
+from repro.sim.strategies import balanced_straight_stages
+
+DEPTHS = [2, 3, 4, 5, 6, 7]
+
+
+def run():
+    profile = analytic_profile("gnmt8")
+    topology = cluster_a(1)
+    stages = balanced_straight_stages(profile, 4)
+    results = []
+    for depth in DEPTHS:
+        schedule = one_f_one_b_rr_schedule(stages, 48, in_flight_per_replica=depth)
+        sim = simulate(schedule, profile, topology, SimOptions())
+        # Stage s of a straight pipeline holds up to depth - s in-flight
+        # minibatches (its warmup count under the depth knob).
+        in_flight = [max(1, depth - s) for s in range(len(stages))]
+        memory = pipeline_memory_footprint(profile, stages, in_flight=in_flight)
+        results.append({
+            "depth": depth,
+            "throughput": sim.steady_state_throughput,
+            "memory": memory,
+        })
+    return results
+
+
+def report(results) -> None:
+    print_header("Figure 18 — pipeline depth vs. throughput and memory (GNMT-8)")
+    rows = []
+    for r in results:
+        rows.append([
+            str(r["depth"]),
+            f"{r['throughput']:.2f} mb/s",
+            *(f"{m / 1e9:.2f} GB" for m in r["memory"]),
+        ])
+    print_rows(["depth", "throughput", "stage0 mem", "stage1 mem",
+                "stage2 mem", "stage3 mem"], rows)
+
+
+def test_fig18_depth_tradeoff(benchmark):
+    results = run_once(benchmark, run)
+    by_depth = {r["depth"]: r for r in results}
+    noam = 4
+    # Throughput improves from shallow to NOAM depth...
+    assert by_depth[noam]["throughput"] > by_depth[2]["throughput"]
+    # ...and saturates beyond it (within tolerance).
+    assert by_depth[7]["throughput"] >= 0.95 * by_depth[noam]["throughput"]
+    # Input-stage memory grows with depth.
+    mem = [by_depth[d]["memory"][0] for d in DEPTHS]
+    assert mem == sorted(mem)
+    assert by_depth[4]["memory"][0] > by_depth[2]["memory"][0]
+
+
+def save_figures(results, directory: str = "figures") -> None:
+    import os
+
+    from repro.utils.svgplot import LineChart
+
+    os.makedirs(directory, exist_ok=True)
+    chart = LineChart("Figure 18 — pipeline depth vs. throughput (GNMT-8)",
+                      x_label="pipeline depth", y_label="minibatches/s")
+    chart.add_series("throughput", [(r["depth"], r["throughput"]) for r in results])
+    chart.save(os.path.join(directory, "fig18_throughput.svg"))
+    memory = LineChart("Figure 18 — pipeline depth vs. memory (GNMT-8)",
+                       x_label="pipeline depth", y_label="GB (input stage)")
+    memory.add_series("stage 0", [(r["depth"], r["memory"][0] / 1e9) for r in results])
+    memory.add_series("stage 3", [(r["depth"], r["memory"][3] / 1e9) for r in results])
+    memory.save(os.path.join(directory, "fig18_memory.svg"))
+
+
+if __name__ == "__main__":
+    results = run()
+    report(results)
+    save_figures(results)
+    print("\nfigures written to figures/fig18_*.svg")

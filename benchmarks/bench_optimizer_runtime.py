@@ -1,0 +1,49 @@
+"""§5.5: the partitioning optimizer is fast (< 8 s for every model).
+
+Runs the full hierarchical+flat DP for all seven models on the 16-worker
+Cluster-A and reports wall-clock solve times.  This bench also exercises
+pytest-benchmark's repeated timing (the solver is cheap enough to run
+multiple rounds).
+"""
+
+from __future__ import annotations
+
+from common import print_header, print_rows
+
+from repro.core.partition import PipeDreamOptimizer
+from repro.core.topology import cluster_a
+from repro.profiler import analytic_profile, available_models
+
+
+def run():
+    topology = cluster_a(4)
+    results = []
+    for model in available_models():
+        profile = analytic_profile(model)
+        plan = PipeDreamOptimizer(profile, topology).solve()
+        results.append({
+            "model": model,
+            "layers": len(profile),
+            "config": plan.config_string,
+            "seconds": plan.solve_seconds,
+        })
+    return results
+
+
+def report(results) -> None:
+    print_header("§5.5 — optimizer runtime (16 workers, paper bound: < 8 s)")
+    rows = [
+        [r["model"], str(r["layers"]), r["config"], f"{r['seconds'] * 1e3:.0f} ms"]
+        for r in results
+    ]
+    print_rows(["model", "layers", "chosen config", "solve time"], rows)
+
+
+def test_optimizer_runtime(benchmark):
+    results = benchmark(run)
+    for r in results:
+        assert r["seconds"] < 8.0, r["model"]
+
+
+if __name__ == "__main__":
+    report(run())

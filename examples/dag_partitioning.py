@@ -1,0 +1,51 @@
+"""Partitioning a DAG model: why residual networks resist splitting.
+
+PipeDream's optimizer works on a chain of layers, but real models are DAGs
+(§4's annotated operator graph).  This example builds a residual operator
+graph, linearizes it, and shows how skip connections inflate the
+communication cost of cutting *inside* a block — the same effect that
+makes ResNet-50's best non-DP configuration communicate more than data
+parallelism (Figure 17), and hence keeps it data-parallel in Table 1.
+
+Run:  python examples/dag_partitioning.py
+"""
+
+from repro.api import OperatorGraph, PipeDreamOptimizer, make_cluster
+from repro.core.opgraph import residual_block_graph
+from repro.utils import format_table
+
+
+def main() -> None:
+    # Heavy conv weights make replication expensive (so the optimizer
+    # pipelines), while the modest activations make block boundaries cheap.
+    graph = residual_block_graph(num_blocks=3, compute=1.0,
+                                 tensor_bytes=2000, weight_bytes=50_000)
+    order = graph.linearize()
+    print("Linearized operator order (BFS over the DAG):")
+    print("  " + " -> ".join(order))
+
+    # Cut cost at every boundary: skips double the traffic inside blocks.
+    rows = []
+    for i in range(len(order) - 1):
+        rows.append([
+            f"after {order[i]}",
+            f"{graph.cut_bytes(order, i):,} B",
+            "skip crosses here" if graph.cut_bytes(order, i) > 2000 else "",
+        ])
+    print("\nBytes crossing each candidate cut:")
+    print(format_table(["cut", "boundary bytes", ""], rows))
+
+    # Feed the DAG-aware chain profile to the §3.1 optimizer.
+    profile = graph.chain_profile(batch_size=8)
+    topology = make_cluster("demo", 4, 1, 2000.0, 2000.0)  # slow links
+    plan = PipeDreamOptimizer(profile, topology).solve()
+    print(f"\nOptimizer's plan on 4 slow-linked workers: {plan.config_string}")
+    for stage in plan.stages:
+        names = order[stage.start : stage.stop]
+        print(f"  stage {names[0]}..{names[-1]} x{stage.replicas}")
+    print("\nNote how stage boundaries land on block ADD nodes (where no "
+          "skip edge is in flight), never mid-block.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""A "production" training run: threads, checkpoints, early stopping, BLEU.
+
+Drives the threaded pipeline runtime (one OS thread per logical worker)
+through the high-level ``fit`` loop on the synthetic translation task:
+per-stage checkpoints every epoch (§4), early stop at a target BLEU, then a
+simulated crash + resume that picks up from the last complete checkpoint.
+
+Run:  python examples/production_run.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import api
+from repro.runtime import fit
+
+
+def build():
+    return api.build_gnmt(num_lstm_layers=4, vocab_size=12, hidden_size=16,
+                          rng=np.random.default_rng(5))
+
+
+def main() -> None:
+    src, tgt = api.make_seq2seq_data(num_samples=96, seq_len=6, vocab_size=12,
+                                     shift=3, seed=0)
+    batches = [(src[i * 12 : (i + 1) * 12], tgt[i * 12 : (i + 1) * 12])
+               for i in range(8)]
+    stages = [api.Stage(0, 2, 1), api.Stage(2, 4, 1), api.Stage(4, 6, 1)]
+    checkpoint_dir = tempfile.mkdtemp(prefix="pipedream-ckpt-")
+    manager = api.CheckpointManager(checkpoint_dir)
+
+    trainer = api.ThreadedPipelineTrainer(
+        build(), stages, api.CrossEntropyLoss(),
+        lambda ps: api.Adam(ps, lr=0.01),
+    )
+
+    def bleu() -> float:
+        return api.translation_bleu(trainer.consolidated_model(), src, tgt)
+
+    print("Training (threaded 1F1B pipeline, checkpoint per epoch, "
+          "target BLEU 95):")
+    result = fit(trainer, batches, evaluate=bleu, epochs=20,
+                 target_metric=95.0, checkpoint_manager=manager,
+                 verbose=True)
+    print(f"-> reached target in {result.epochs_to_target} epochs; "
+          f"checkpoints: {len(manager.list_checkpoints())} files "
+          f"in {checkpoint_dir}")
+
+    # Simulated failure: a brand-new process restores and continues.
+    print("\nSimulated restart from the last complete checkpoint:")
+    trainer2 = api.ThreadedPipelineTrainer(
+        build(), stages, api.CrossEntropyLoss(),
+        lambda ps: api.Adam(ps, lr=0.01),
+    )
+    restored_epoch = trainer2.restore_checkpoint(manager)
+    restored_bleu = api.translation_bleu(trainer2.consolidated_model(), src, tgt)
+    print(f"-> restored epoch {restored_epoch}, BLEU {restored_bleu:.1f} "
+          "(training state survived the crash)")
+
+    # Measured communication (through the message board; per epoch).
+    print(f"\nMeasured pipeline traffic (final epoch): "
+          f"{trainer.board.bytes_sent / 1e6:.1f} MB over "
+          f"{trainer.board.messages} messages "
+          "(activations + gradients, counted by the comm substrate)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Translation with a straight GNMT pipeline (the paper's Table 1 shape).
+
+GNMT-style stacked LSTMs have dense weights and small activations, so the
+optimizer picks a *straight* pipeline (no replication) — communication
+drops by an order of magnitude versus DP.  This example trains a GNMT-4 on
+a synthetic aligned-translation task through the straight pipeline, then
+compares weight-stashing policies (§3.3) on the same run.
+
+Run:  python examples/translation_gnmt.py
+"""
+
+import numpy as np
+
+from repro import api
+
+
+def build():
+    return api.build_gnmt(num_lstm_layers=4, vocab_size=12, hidden_size=16,
+                          rng=np.random.default_rng(5))
+
+
+def main() -> None:
+    src, tgt = api.make_seq2seq_data(num_samples=96, seq_len=6, vocab_size=12,
+                                     shift=3, seed=0)
+    batches = [(src[i * 12 : (i + 1) * 12], tgt[i * 12 : (i + 1) * 12])
+               for i in range(8)]
+    loss_fn = api.CrossEntropyLoss()
+
+    # A straight 3-stage pipeline over embed+LSTMs / LSTMs / projection.
+    stages = [api.Stage(0, 2, 1), api.Stage(2, 4, 1), api.Stage(4, 6, 1)]
+
+    print("Weight-version policies on the same straight pipeline:")
+    for policy in ("stashing", "vertical_sync", "none"):
+        model = build()
+        optimizer = (
+            (lambda ps: api.SGD(ps, lr=0.3))
+            if policy == "none"
+            else (lambda ps: api.Adam(ps, lr=0.01))
+        )
+        trainer = api.PipelineTrainer(model, stages, loss_fn, optimizer,
+                                      policy=policy)
+        accs = []
+        for _ in range(8):
+            trainer.train_minibatches(batches)
+            accs.append(api.evaluate_accuracy(trainer.consolidated_model(),
+                                              src, tgt))
+        bleu = api.translation_bleu(trainer.consolidated_model(), src, tgt)
+        curve = " ".join(f"{a:.0%}" for a in accs)
+        print(f"  {policy:13s}: {curve}  (final BLEU {bleu:.1f})")
+
+    # Communication story: straight pipeline vs. DP for full-size GNMT-16.
+    profile = api.analytic_profile("gnmt16")
+    from repro.core.partition import (
+        communication_bytes_per_minibatch,
+        data_parallel_bytes_per_minibatch,
+    )
+    from repro.sim.strategies import balanced_straight_stages
+
+    straight = balanced_straight_stages(profile, 4)
+    pipeline_bytes = communication_bytes_per_minibatch(profile, straight)
+    dp_bytes = data_parallel_bytes_per_minibatch(profile, 4)
+    print(f"\nFull-size GNMT-16, 4 workers:")
+    print(f"  straight pipeline: {pipeline_bytes / 1e6:7.1f} MB/minibatch")
+    print(f"  data parallelism:  {dp_bytes / 1e6:7.1f} MB/minibatch")
+    print(f"  reduction: {1 - pipeline_bytes / dp_bytes:.0%} "
+          "(the paper reports ~88-93% for its LSTM models)")
+
+
+if __name__ == "__main__":
+    main()

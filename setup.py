@@ -1,0 +1,6 @@
+"""Setup shim enabling legacy editable installs on environments without the
+``wheel`` package (pyproject.toml carries the real metadata)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""PipeDream (SOSP '19) reproduction: generalized pipeline parallelism.
+
+Public API layers (see README.md for the architecture overview):
+
+- :mod:`repro.autodiff`, :mod:`repro.nn`, :mod:`repro.optim` — the numpy
+  training substrate (tensors, layers, optimizers).
+- :mod:`repro.models`, :mod:`repro.data` — partitionable models and
+  synthetic workloads.
+- :mod:`repro.core` — PipeDream itself: profiles, the partitioning
+  optimizer, 1F1B / 1F1B-RR schedules, weight stashing.
+- :mod:`repro.profiler` — measured and analytic profilers.
+- :mod:`repro.sim` — the discrete-event cluster simulator (performance).
+- :mod:`repro.runtime` — real pipelined training engines (semantics).
+
+Quick start::
+
+    import numpy as np
+    from repro import api
+
+    model = api.build_vgg(scale=0.25)
+    profile = api.profile_model(model, np.zeros((4, 3, 32, 32)))
+    plan = api.PipeDreamOptimizer(profile, api.cluster_a(1)).solve()
+    trainer = api.PipelineTrainer(
+        model, plan.stages, api.CrossEntropyLoss(),
+        lambda ps: api.SGD(ps, lr=0.05),
+    )
+"""
+
+__version__ = "1.0.0"
+
+from repro import api
+
+__all__ = ["api", "__version__"]

@@ -1,0 +1,209 @@
+"""Command-line interface: profile, plan, simulate, and visualize.
+
+Usage::
+
+    python -m repro.cli models
+    python -m repro.cli profile vgg16 --device v100
+    python -m repro.cli plan vgg16 --cluster a --servers 4 [--json out.json]
+    python -m repro.cli simulate vgg16 --cluster a --servers 4 --strategy pipedream
+    python -m repro.cli timeline --stages 4 --minibatches 8 --schedule 1f1b
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.deploy import DeploymentPlan
+from repro.core.partition import PipeDreamOptimizer
+from repro.core.schedule import (
+    gpipe_schedule,
+    model_parallel_schedule,
+    one_f_one_b_schedule,
+)
+from repro.core.topology import cluster_1080ti, cluster_a, cluster_b, cluster_c
+from repro.profiler import analytic_profile, available_models
+from repro.sim import (
+    SimOptions,
+    simulate,
+    simulate_data_parallel,
+    simulate_gpipe,
+    simulate_model_parallel,
+    simulate_pipedream,
+)
+from repro.utils import format_table, format_timeline
+
+CLUSTERS = {
+    "a": cluster_a,
+    "b": cluster_b,
+    "c": cluster_c,
+    "1080ti": cluster_1080ti,
+}
+
+
+def _topology(args):
+    topology = CLUSTERS[args.cluster](args.servers)
+    if args.workers:
+        topology = topology.subset(args.workers)
+    return topology
+
+
+def cmd_models(args) -> int:
+    rows = []
+    for name in available_models():
+        profile = analytic_profile(name, device=args.device)
+        rows.append([
+            name,
+            str(len(profile)),
+            str(profile.batch_size),
+            f"{profile.total_weight_bytes / 1e6:.0f} MB",
+            f"{profile.total_compute_time * 1e3:.1f} ms",
+        ])
+    print(format_table(
+        ["model", "layers", "batch", "weights", "compute/minibatch"], rows
+    ))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    profile = analytic_profile(args.model, batch_size=args.batch,
+                               device=args.device)
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(profile.to_json())
+        print(f"wrote {args.json}")
+        return 0
+    rows = [
+        [l.name, l.kind, f"{l.compute_time * 1e3:.2f} ms",
+         f"{l.activation_bytes / 1e6:.2f} MB", f"{l.weight_bytes / 1e6:.2f} MB"]
+        for l in profile
+    ]
+    print(format_table(["layer", "kind", "T_l", "a_l", "w_l"], rows))
+    return 0
+
+
+def cmd_plan(args) -> int:
+    topology = _topology(args)
+    profile = analytic_profile(args.model, device=args.device)
+    result = PipeDreamOptimizer(profile, topology).solve()
+    plan = DeploymentPlan.from_partition(result)
+    print(plan.describe())
+    print(f"config: {result.config_string}   "
+          f"bottleneck: {result.slowest_stage_time * 1e3:.2f} ms/minibatch   "
+          f"solved in {result.solve_seconds * 1e3:.0f} ms")
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(plan.to_json())
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    topology = _topology(args)
+    profile = analytic_profile(args.model, device=args.device)
+    drivers = {
+        "pipedream": lambda: simulate_pipedream(profile, topology,
+                                                num_minibatches=args.minibatches),
+        "dp": lambda: simulate_data_parallel(profile, topology,
+                                             num_minibatches=max(4, args.minibatches // 4)),
+        "mp": lambda: simulate_model_parallel(profile, topology,
+                                              num_minibatches=args.minibatches),
+        "gpipe": lambda: simulate_gpipe(profile, topology,
+                                        num_batches=max(2, args.minibatches // 4)),
+    }
+    result = drivers[args.strategy]()
+    rows = [
+        ["strategy", result.strategy],
+        ["config", result.config],
+        ["workers", str(result.num_workers)],
+        ["throughput", f"{result.throughput:.2f} minibatches/s"],
+        ["samples/s", f"{result.samples_per_second:,.0f}"],
+        ["comm overhead", f"{result.communication_overhead:.1%}"],
+        ["bytes/sample", f"{result.bytes_per_sample / 1e6:.2f} MB"],
+        ["peak worker memory", f"{max(result.memory_per_worker) / 1e9:.2f} GB"],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from repro.core.profile import LayerProfile, ModelProfile
+    from repro.core.topology import make_cluster
+
+    layers = [LayerProfile(f"l{i}", 3.0, 0, 0) for i in range(args.stages)]
+    profile = ModelProfile("uniform", layers, batch_size=1)
+    topology = make_cluster("cli", args.stages, 1, 1e9, 1e9)
+    if args.schedule == "1f1b":
+        schedule = one_f_one_b_schedule(args.stages, args.minibatches)
+        options = SimOptions()
+    elif args.schedule == "gpipe":
+        micro = max(2, args.stages)
+        schedule = gpipe_schedule(args.stages, max(1, args.minibatches // micro), micro)
+        options = SimOptions(sync_mode="gpipe", microbatches_per_batch=micro)
+    else:  # mp
+        schedule = model_parallel_schedule(args.stages, args.minibatches)
+        options = SimOptions()
+    sim = simulate(schedule, profile, topology, options)
+    print(format_timeline(sim, width=args.width))
+    print(f"utilization: {sim.average_utilization:.1%}   "
+          f"steady-state throughput: {sim.steady_state_throughput:.3f}/s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PipeDream reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("models", help="list the full-size paper models")
+    p.add_argument("--device", default="v100", choices=["v100", "1080ti", "titanx"])
+    p.set_defaults(func=cmd_models)
+
+    p = sub.add_parser("profile", help="print or save a model profile")
+    p.add_argument("model", choices=available_models())
+    p.add_argument("--batch", type=int, default=0)
+    p.add_argument("--device", default="v100", choices=["v100", "1080ti", "titanx"])
+    p.add_argument("--json", help="write the profile to this file")
+    p.set_defaults(func=cmd_profile)
+
+    def add_cluster_args(p):
+        p.add_argument("--cluster", default="a", choices=sorted(CLUSTERS))
+        p.add_argument("--servers", type=int, default=4)
+        p.add_argument("--workers", type=int, default=0,
+                       help="restrict to the first N workers")
+        p.add_argument("--device", default="v100",
+                       choices=["v100", "1080ti", "titanx"])
+
+    p = sub.add_parser("plan", help="run the partitioning optimizer")
+    p.add_argument("model", choices=available_models())
+    add_cluster_args(p)
+    p.add_argument("--json", help="write the deployment plan to this file")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("simulate", help="simulate a training strategy")
+    p.add_argument("model", choices=available_models())
+    add_cluster_args(p)
+    p.add_argument("--strategy", default="pipedream",
+                   choices=["pipedream", "dp", "mp", "gpipe"])
+    p.add_argument("--minibatches", type=int, default=48)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("timeline", help="print an ASCII pipeline timeline")
+    p.add_argument("--stages", type=int, default=4)
+    p.add_argument("--minibatches", type=int, default=8)
+    p.add_argument("--schedule", default="1f1b", choices=["1f1b", "gpipe", "mp"])
+    p.add_argument("--width", type=int, default=78)
+    p.set_defaults(func=cmd_timeline)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

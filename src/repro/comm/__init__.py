@@ -1,0 +1,13 @@
+"""Communication substrate: typed channels and collective algorithms.
+
+The paper's runtime moves activations and gradients over point-to-point
+channels (Gloo) and synchronizes replicated stages with ring all_reduce
+(NCCL).  This package provides in-process equivalents with full byte
+accounting, so the training runtime's *measured* communication volumes can
+be cross-checked against the analytic model behind Figure 17.
+"""
+
+from repro.comm.channel import Channel, Message, Network
+from repro.comm.collective import ring_allreduce, ring_allreduce_bytes
+
+__all__ = ["Channel", "Message", "Network", "ring_allreduce", "ring_allreduce_bytes"]

@@ -1,0 +1,190 @@
+"""Deployment plans: the artifact connecting optimizer to runtime (§4).
+
+The paper's optimizer "returns an annotated operator graph, with each model
+layer mapped to a stage ID", from which per-worker modules and the static
+1F1B-RR schedule are generated.  :class:`DeploymentPlan` is that artifact:
+layer→stage annotations, per-worker stage/replica assignments, NOAM, and
+the worker op schedules — fully JSON-serializable so a plan can be computed
+once and shipped to workers (or to the simulator) without re-running the
+optimizer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.graph import LayerGraph
+from repro.core.partition import PartitionResult, Stage
+from repro.core.schedule import Op, OpKind, Schedule, one_f_one_b_rr_schedule
+
+
+@dataclass(frozen=True)
+class WorkerAssignment:
+    """One worker's role in the deployment."""
+
+    worker: int
+    stage: int
+    replica: int
+    layer_start: int
+    layer_stop: int
+
+
+@dataclass
+class DeploymentPlan:
+    """A serializable PipeDream deployment."""
+
+    model_name: str
+    stages: List[Stage]
+    layer_names: List[str]
+    noam: int
+    assignments: List[WorkerAssignment]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_partition(
+        cls,
+        result: PartitionResult,
+        layer_names: Optional[Sequence[str]] = None,
+    ) -> "DeploymentPlan":
+        names = list(layer_names) if layer_names is not None else [
+            layer.name for layer in result.profile
+        ]
+        assignments = []
+        worker = 0
+        for s, stage in enumerate(result.stages):
+            for q in range(stage.replicas):
+                assignments.append(
+                    WorkerAssignment(worker, s, q, stage.start, stage.stop)
+                )
+                worker += 1
+        return cls(
+            model_name=result.profile.model_name,
+            stages=list(result.stages),
+            layer_names=names,
+            noam=result.noam,
+            assignments=assignments,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self.assignments)
+
+    def stage_of_layer(self, layer_index: int) -> int:
+        """The §4 annotation: layer index -> stage id."""
+        for s, stage in enumerate(self.stages):
+            if stage.start <= layer_index < stage.stop:
+                return s
+        raise IndexError(f"layer {layer_index} outside the model")
+
+    def annotated_layers(self) -> List[Dict]:
+        return [
+            {"layer": name, "index": i, "stage": self.stage_of_layer(i)}
+            for i, name in enumerate(self.layer_names)
+        ]
+
+    def workers_for_stage(self, stage: int) -> List[int]:
+        return [a.worker for a in self.assignments if a.stage == stage]
+
+    def schedule(self, num_minibatches: int) -> Schedule:
+        """Materialize the static 1F1B-RR schedule for this deployment."""
+        return one_f_one_b_rr_schedule(self.stages, num_minibatches, noam=self.noam)
+
+    def describe(self) -> str:
+        """Human-readable deployment summary."""
+        lines = [f"model {self.model_name}: {len(self.stages)} stage(s), "
+                 f"{self.num_workers} worker(s), NOAM={self.noam}"]
+        for s, stage in enumerate(self.stages):
+            span = f"{self.layer_names[stage.start]}..{self.layer_names[stage.stop - 1]}"
+            workers = self.workers_for_stage(s)
+            lines.append(f"  stage {s}: layers {span} x{stage.replicas} "
+                         f"on workers {workers}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "model_name": self.model_name,
+            "noam": self.noam,
+            "layer_names": self.layer_names,
+            "stages": [
+                {"start": s.start, "stop": s.stop, "replicas": s.replicas}
+                for s in self.stages
+            ],
+            "assignments": [
+                {
+                    "worker": a.worker,
+                    "stage": a.stage,
+                    "replica": a.replica,
+                    "layer_start": a.layer_start,
+                    "layer_stop": a.layer_stop,
+                }
+                for a in self.assignments
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DeploymentPlan":
+        stages = [Stage(s["start"], s["stop"], s["replicas"]) for s in data["stages"]]
+        assignments = [WorkerAssignment(**a) for a in data["assignments"]]
+        return cls(
+            model_name=data["model_name"],
+            stages=stages,
+            layer_names=list(data["layer_names"]),
+            noam=data["noam"],
+            assignments=assignments,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeploymentPlan":
+        return cls.from_dict(json.loads(text))
+
+
+def serialize_schedule(schedule: Schedule) -> Dict:
+    """Schedule -> JSON-ready dict (per-worker op lists)."""
+    return {
+        "num_minibatches": schedule.num_minibatches,
+        "noam": schedule.noam,
+        "flush_after": list(schedule.flush_after),
+        "stages": [
+            {"start": s.start, "stop": s.stop, "replicas": s.replicas}
+            for s in schedule.stages
+        ],
+        "worker_ops": {
+            str(worker): [[op.kind.value, op.stage, op.minibatch] for op in ops]
+            for worker, ops in schedule.worker_ops.items()
+        },
+    }
+
+
+def deserialize_schedule(data: Dict) -> Schedule:
+    stages = [Stage(s["start"], s["stop"], s["replicas"]) for s in data["stages"]]
+    kind_map = {k.value: k for k in OpKind}
+    worker_ops = {
+        int(worker): [Op(kind_map[k], stage, mb) for k, stage, mb in ops]
+        for worker, ops in data["worker_ops"].items()
+    }
+    stage_workers: Dict[int, List[int]] = {}
+    next_id = 0
+    for s, stage in enumerate(stages):
+        stage_workers[s] = list(range(next_id, next_id + stage.replicas))
+        next_id += stage.replicas
+    return Schedule(
+        stages=stages,
+        num_minibatches=data["num_minibatches"],
+        worker_ops=worker_ops,
+        stage_workers=stage_workers,
+        noam=data["noam"],
+        flush_after=list(data.get("flush_after", [])),
+    )

@@ -1,0 +1,200 @@
+"""Operator graphs and their linearization into partitionable chains (§4).
+
+PipeDream's partitioner works over a *sequence* of layers, but real models
+are DAGs of operators (residual skips, multi-branch cells).  The paper's
+implementation "performs a BFS traversal of this graph and generates code
+for each stage ..., ordering operators in each stage to make sure their
+input-output dependencies from the original PyTorch model graph are
+respected."  This module provides that bridge:
+
+- :class:`OperatorGraph` — a DAG of named operators with profiling
+  metadata per node;
+- :meth:`OperatorGraph.linearize` — a deterministic dependency-respecting
+  order (Kahn's algorithm with BFS layering and stable tie-breaks);
+- :meth:`OperatorGraph.chain_profile` — collapse the linear order into a
+  :class:`~repro.core.profile.ModelProfile` whose boundary activation
+  sizes account for *all* edges crossing each cut (a skip connection that
+  spans a cut adds its tensor to the boundary traffic), so the §3.1
+  optimizer prices DAG models correctly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.profile import LayerProfile, ModelProfile
+
+
+@dataclass(frozen=True)
+class OperatorNode:
+    """One operator in the DAG.
+
+    ``output_bytes`` is the size of this operator's output tensor for one
+    minibatch — charged once per consumer stage that lives across a cut.
+    """
+
+    name: str
+    compute_time: float
+    output_bytes: int
+    weight_bytes: int = 0
+    kind: str = "other"
+
+
+class OperatorGraph:
+    """A DAG of operators with explicit data-flow edges."""
+
+    def __init__(self, model_name: str = "opgraph"):
+        self.model_name = model_name
+        self._nodes: Dict[str, OperatorNode] = {}
+        self._successors: Dict[str, List[str]] = {}
+        self._predecessors: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: OperatorNode,
+                 inputs: Sequence[str] = ()) -> OperatorNode:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate operator {node.name!r}")
+        for name in inputs:
+            if name not in self._nodes:
+                raise KeyError(f"unknown input operator {name!r}")
+        self._nodes[node.name] = node
+        self._successors[node.name] = []
+        self._predecessors[node.name] = list(inputs)
+        for name in inputs:
+            self._successors[name].append(node.name)
+        return node
+
+    def add(self, name: str, compute_time: float, output_bytes: int,
+            weight_bytes: int = 0, kind: str = "other",
+            inputs: Sequence[str] = ()) -> OperatorNode:
+        """Convenience wrapper around :meth:`add_node`."""
+        return self.add_node(
+            OperatorNode(name, compute_time, output_bytes, weight_bytes, kind),
+            inputs,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> OperatorNode:
+        return self._nodes[name]
+
+    def predecessors(self, name: str) -> List[str]:
+        return list(self._predecessors[name])
+
+    def successors(self, name: str) -> List[str]:
+        return list(self._successors[name])
+
+    # ------------------------------------------------------------------
+    # Linearization
+    # ------------------------------------------------------------------
+    def linearize(self) -> List[str]:
+        """Dependency-respecting BFS order (deterministic).
+
+        Kahn's algorithm, visiting ready nodes in insertion order — the
+        paper's BFS traversal with a stable tie-break.  Raises on cycles.
+        """
+        in_degree = {name: len(preds) for name, preds in self._predecessors.items()}
+        ready = deque(name for name in self._nodes if in_degree[name] == 0)
+        order: List[str] = []
+        while ready:
+            name = ready.popleft()
+            order.append(name)
+            for succ in self._successors[name]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._nodes):
+            raise ValueError("operator graph contains a cycle")
+        return order
+
+    def validate_order(self, order: Sequence[str]) -> None:
+        """Check an order respects every data-flow edge."""
+        position = {name: i for i, name in enumerate(order)}
+        if set(position) != set(self._nodes):
+            raise ValueError("order must contain every operator exactly once")
+        for name, preds in self._predecessors.items():
+            for pred in preds:
+                if position[pred] >= position[name]:
+                    raise ValueError(
+                        f"order violates dependency {pred!r} -> {name!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Collapse into a chain profile
+    # ------------------------------------------------------------------
+    def cut_bytes(self, order: Sequence[str], cut: int) -> int:
+        """Bytes of every edge crossing the boundary after ``order[cut]``.
+
+        A producer before the cut whose consumers (any of them) sit after
+        the cut must ship its output across — once, regardless of how many
+        downstream consumers exist (the runtime forwards a single copy).
+        Skip connections therefore inflate mid-network cuts, which is how
+        residual models become expensive to split mid-block.
+        """
+        position = {name: i for i, name in enumerate(order)}
+        total = 0
+        for name, node in self._nodes.items():
+            if position[name] > cut:
+                continue
+            if any(position[succ] > cut for succ in self._successors[name]):
+                total += node.output_bytes
+        return total
+
+    def chain_profile(self, batch_size: int = 1,
+                      order: Optional[Sequence[str]] = None,
+                      bytes_per_element: int = 4) -> ModelProfile:
+        """A :class:`ModelProfile` over the linearized operator order.
+
+        Each operator becomes one layer; ``activation_bytes`` of layer i is
+        the total cross-cut traffic after position i (not merely operator
+        i's own output), so the chain partitioner's boundary term matches
+        the DAG's real communication.
+        """
+        order = list(order) if order is not None else self.linearize()
+        self.validate_order(order)
+        layers = []
+        for i, name in enumerate(order):
+            node = self._nodes[name]
+            boundary = self.cut_bytes(order, i) if i < len(order) - 1 else node.output_bytes
+            layers.append(
+                LayerProfile(
+                    name=name,
+                    compute_time=node.compute_time,
+                    activation_bytes=boundary,
+                    weight_bytes=node.weight_bytes,
+                    kind=node.kind,
+                )
+            )
+        return ModelProfile(self.model_name, layers, batch_size=batch_size,
+                            bytes_per_element=bytes_per_element)
+
+
+def residual_block_graph(num_blocks: int = 2, compute: float = 1.0,
+                         tensor_bytes: int = 1000,
+                         weight_bytes: int = 100) -> OperatorGraph:
+    """A demo DAG: a chain of residual blocks (conv-conv-add with skips)."""
+    graph = OperatorGraph("residual-demo")
+    previous = graph.add("stem", compute, tensor_bytes,
+                         weight_bytes=weight_bytes, kind="conv").name
+    for b in range(1, num_blocks + 1):
+        conv1 = graph.add(f"block{b}_conv1", compute, tensor_bytes,
+                          weight_bytes=weight_bytes, kind="conv",
+                          inputs=[previous])
+        conv2 = graph.add(f"block{b}_conv2", compute, tensor_bytes,
+                          weight_bytes=weight_bytes, kind="conv",
+                          inputs=[conv1.name])
+        add = graph.add(f"block{b}_add", compute * 0.1, tensor_bytes,
+                        kind="other", inputs=[conv2.name, previous])
+        previous = add.name
+    return graph

@@ -1,0 +1,561 @@
+"""PipeDream's partitioning optimizer (§3.1).
+
+The optimizer consumes a :class:`~repro.core.profile.ModelProfile` and a
+hierarchical :class:`~repro.core.topology.Topology` and solves the paper's
+dynamic program level by level:
+
+    T^k(i→j, m)  — time of a single stage spanning layers i..j replicated
+                   over m level-(k-1) components, accounting for the
+                   data-parallel all_reduce of the stage's weights, with the
+                   stage internally executed as an optimal level-(k-1)
+                   sub-pipeline;
+
+    A^k(i→j, m)  — time of the slowest stage of the optimal pipeline over
+                   layers i..j using m level-(k-1) components, split into an
+                   optimal sub-pipeline plus one trailing replicated stage.
+
+Back-pointers are kept at every level so the final nested plan can be
+reconstructed and flattened into concrete stages with worker counts, from
+which the 1F1B-RR schedule and NOAM follow directly.
+
+A brute-force reference (:func:`brute_force_partition`) enumerates all
+contiguous partitions with all replication assignments for small instances
+and is used by the test suite to certify optimality of the DP.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.profile import ModelProfile
+from repro.core.topology import Topology, TopologyLevel
+
+#: Layer kinds whose weight gradients accumulate across BPTT timesteps and
+#: only complete at the end of the backward pass — their all_reduce cannot
+#: overlap compute (§2.1 wait-free backprop does not apply to them).
+RECURRENT_KINDS = ("lstm", "embedding")
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A contiguous slice of layers assigned to ``replicas`` workers.
+
+    ``start`` is inclusive, ``stop`` exclusive, matching Python slices.
+    """
+
+    start: int
+    stop: int
+    replicas: int
+
+    def __post_init__(self):
+        if self.stop <= self.start:
+            raise ValueError("stage must contain at least one layer")
+        if self.replicas < 1:
+            raise ValueError("stage needs at least one replica")
+
+    @property
+    def num_layers(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class PartitionResult:
+    """Output of the optimizer: the balanced pipeline of §3.1."""
+
+    stages: List[Stage]
+    slowest_stage_time: float  # effective seconds per minibatch
+    num_workers: int
+    profile: ModelProfile
+    topology: Topology
+    solve_seconds: float = 0.0
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def is_data_parallel(self) -> bool:
+        """Vanilla DP is the degenerate single-replicated-stage pipeline."""
+        return len(self.stages) == 1 and self.stages[0].replicas == self.num_workers
+
+    @property
+    def is_straight(self) -> bool:
+        """A straight pipeline has one worker per stage, no replication."""
+        return all(stage.replicas == 1 for stage in self.stages) and len(self.stages) > 1
+
+    @property
+    def config_string(self) -> str:
+        """Paper-style name: "15-1", "straight", "16" (pure DP), etc."""
+        if self.is_data_parallel:
+            return str(self.num_workers)
+        if self.is_straight:
+            return "straight"
+        return "-".join(str(stage.replicas) for stage in self.stages)
+
+    @property
+    def noam(self) -> int:
+        """NUM_OPT_ACTIVE_MINIBATCHES = ceil(workers / input-stage replicas)."""
+        return max(1, math.ceil(self.num_workers / self.stages[0].replicas))
+
+    @property
+    def predicted_throughput(self) -> float:
+        """Steady-state minibatches per second."""
+        return 1.0 / self.slowest_stage_time
+
+    def predicted_epoch_time(self, num_minibatches: int) -> float:
+        """Steady-state epoch time estimate (startup transient ignored)."""
+        return num_minibatches * self.slowest_stage_time
+
+    def stage_boundaries(self) -> List[Tuple[int, int]]:
+        return [(stage.start, stage.stop) for stage in self.stages]
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionResult(config={self.config_string!r}, "
+            f"stages={len(self.stages)}, workers={self.num_workers}, "
+            f"bottleneck={self.slowest_stage_time * 1e3:.2f}ms/minibatch)"
+        )
+
+
+def allreduce_bytes_per_worker(weight_bytes: float, num_workers: int) -> float:
+    """Bytes each of ``num_workers`` workers sends (and receives) to
+    synchronize ``weight_bytes`` of parameters with a ring all_reduce:
+    ``2 (m-1)/m * |w|`` (§3.1)."""
+    if num_workers <= 1:
+        return 0.0
+    return 2.0 * (num_workers - 1) / num_workers * weight_bytes
+
+
+class PipeDreamOptimizer:
+    """Hierarchical dynamic-programming partitioner.
+
+    Args:
+        profile: per-layer (T_l, a_l, w_l) measurements.
+        topology: hierarchical cluster description; the optimizer solves one
+            DP per level, innermost first.
+        allow_replication: when False, every stage is pinned to one worker
+            (used for straight-pipeline ablations).
+        memory_limit_bytes: optional per-worker memory capacity; candidate
+            stages whose worst-case footprint (weight versions + activation
+            stashes for the maximal number of in-flight minibatches) exceeds
+            the capacity are rejected, as in §3.1's constraint list.
+    """
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        topology: Topology,
+        allow_replication: bool = True,
+        memory_limit_bytes: Optional[float] = None,
+    ):
+        self.profile = profile
+        self.topology = topology
+        self.allow_replication = allow_replication
+        self.memory_limit_bytes = memory_limit_bytes
+        self._n = len(profile)
+        # Profiles are recorded on the reference device; slower clusters
+        # (compute_scale < 1) stretch compute relative to communication, so
+        # the cost model works on device-adjusted times (as the simulator
+        # and runtime do).
+        if topology.compute_scale != 1.0:
+            profile = profile.scaled(1.0 / topology.compute_scale)
+        self._device_profile = profile
+        # Prefix sums for O(1) range queries.  Recurrent (BPTT-accumulated)
+        # weights are tracked separately: their gradients only materialize
+        # at the end of a backward pass, so their synchronization cannot be
+        # overlapped and is charged additively (see RECURRENT_KINDS).
+        self._prefix_time = [0.0]
+        self._prefix_weights = [0.0]
+        self._prefix_recurrent = [0.0]
+        for layer in profile:
+            self._prefix_time.append(self._prefix_time[-1] + layer.compute_time)
+            self._prefix_weights.append(self._prefix_weights[-1] + layer.weight_bytes)
+            recurrent = layer.weight_bytes if layer.kind in RECURRENT_KINDS else 0
+            self._prefix_recurrent.append(self._prefix_recurrent[-1] + recurrent)
+
+    # ------------------------------------------------------------------
+    # Range helpers
+    # ------------------------------------------------------------------
+    def _time(self, i: int, j: int) -> float:
+        """Sum of T_l for layers i..j inclusive."""
+        return self._prefix_time[j + 1] - self._prefix_time[i]
+
+    def _weights(self, i: int, j: int) -> float:
+        return self._prefix_weights[j + 1] - self._prefix_weights[i]
+
+    def _recurrent_weights(self, i: int, j: int) -> float:
+        return self._prefix_recurrent[j + 1] - self._prefix_recurrent[i]
+
+    def _memory_ok(self, i: int, j: int, replicas_total: int) -> bool:
+        if self.memory_limit_bytes is None:
+            return True
+        weights = self._weights(i, j)
+        acts = self.profile.activation_bytes(j)
+        # Worst case: the input stage stashes one weight version and one
+        # activation set per in-flight minibatch, bounded by worker count.
+        versions = max(1, self.topology.total_workers)
+        return versions * (weights + acts) <= self.memory_limit_bytes
+
+    # ------------------------------------------------------------------
+    # The hierarchical DP
+    # ------------------------------------------------------------------
+    def solve(self, num_workers: Optional[int] = None) -> PartitionResult:
+        """Compute the optimal pipeline for ``num_workers`` (default: all).
+
+        Two decompositions are solved and the better plan (under the
+        topology-aware evaluator) is returned:
+
+        - the paper's *hierarchical* DP, which nests replication along the
+          machine hierarchy (and therefore only expresses replica counts
+          that factor along it), and
+        - a *flat* DP over all workers at the slowest link bandwidth, which
+          can express configurations like VGG-16's "15-1" that do not
+          factor hierarchically (the form the paper's Table 1 reports).
+        """
+        start_time = time.perf_counter()
+        topology = self.topology
+        if num_workers is not None and num_workers != topology.total_workers:
+            topology = topology.subset(num_workers)
+
+        candidates = [self._solve_for(topology)]
+        if topology.num_levels > 1:
+            candidates.append(self._solve_for(topology.flat()))
+        # Note: the evaluator applies the topology's compute scale itself,
+        # so the raw (reference-device) profile is passed here.
+        scored = [
+            (evaluate_partition_on_topology(self.profile, stages, topology), stages)
+            for stages in candidates
+        ]
+        best_cost = min(cost for cost, _ in scored)
+        # Within the solver's tolerance (the cost model has error bars of a
+        # few percent), prefer the simplest plan — fewer stages, and vanilla
+        # DP over a near-tied pipeline.  This is what makes ResNet-50 land
+        # on its Table 1 "16" configuration: non-DP alternatives buy nothing.
+        tolerance = 1.03
+        near_best = [item for item in scored if item[0] <= best_cost * tolerance]
+        cost, stages = min(near_best, key=lambda item: (len(item[1]), item[0]))
+        elapsed = time.perf_counter() - start_time
+        return PartitionResult(
+            stages=stages,
+            slowest_stage_time=cost,
+            num_workers=topology.total_workers,
+            profile=self.profile,
+            topology=topology,
+            solve_seconds=elapsed,
+        )
+
+    def _solve_for(self, topology: Topology) -> List[Stage]:
+        """Run the level-by-level DP on ``topology``; returns the stages."""
+        n = self._n
+
+        # A[k][(i, j, m)] -> (bottleneck_time, backpointer)
+        # backpointer: None for a single stage covering i..j, else (s, m')
+        # meaning sub-pipeline i..s on m - m' components plus stage s+1..j
+        # on m' components.
+        tables: List[Dict[Tuple[int, int, int], Tuple[float, Optional[Tuple[int, int]]]]] = []
+
+        prev_capacity = 1  # m_{k-1}: components of the level below
+        prev_workers = 1  # workers inside one level-(k-1) component
+        for k, level in enumerate(topology.levels, start=1):
+            mk, bandwidth = level.count, level.bandwidth
+            table: Dict[Tuple[int, int, int], Tuple[float, Optional[Tuple[int, int]]]] = {}
+
+            stage_cache: Dict[Tuple[int, int, int], float] = {}
+            allreduce_bandwidth = level.allreduce_bandwidth
+
+            def stage_time(i: int, j: int, m: int) -> float:
+                """T^k(i→j, m): single stage replicated over m components."""
+                cached = stage_cache.get((i, j, m))
+                if cached is not None:
+                    return cached
+                result = self._stage_time_uncached(
+                    tables, k, prev_capacity, prev_workers,
+                    allreduce_bandwidth, i, j, m,
+                )
+                stage_cache[(i, j, m)] = result
+                return result
+
+            for m in range(1, mk + 1):
+                for j in range(n):
+                    for i in range(j, -1, -1):
+                        best = stage_time(i, j, m)
+                        best_ptr: Optional[Tuple[int, int]] = None
+                        for s in range(i, j):
+                            boundary = 2.0 * self.profile.activation_bytes(s) / bandwidth
+                            for m_prime in range(1, m):
+                                left = table.get((i, s, m - m_prime))
+                                if left is None:
+                                    continue
+                                right = stage_time(s + 1, j, m_prime)
+                                candidate = max(left[0], boundary, right)
+                                if candidate < best:
+                                    best = candidate
+                                    best_ptr = (s, m_prime)
+                        if best < math.inf:
+                            table[(i, j, m)] = (best, best_ptr)
+            tables.append(table)
+            prev_capacity = mk
+            prev_workers *= mk
+
+        top = len(topology.levels)
+        final = tables[top - 1].get((0, n - 1, topology.levels[top - 1].count))
+        if final is None:
+            raise RuntimeError("no feasible partition found (memory limit too tight?)")
+
+        return self._reconstruct(tables, topology, top, 0, n - 1,
+                                 topology.levels[top - 1].count)
+
+    def _stage_time_uncached(
+        self,
+        tables: Sequence[Dict],
+        k: int,
+        prev_capacity: int,
+        prev_workers: int,
+        allreduce_bandwidth: float,
+        i: int,
+        j: int,
+        m: int,
+    ) -> float:
+        """T^k(i→j, m) without memoization; see :meth:`solve`.
+
+        The stage spans layers i..j, replicated over ``m`` level-(k-1)
+        components (each holding ``prev_workers`` workers internally).  Its
+        effective per-minibatch time is the max of
+
+        - the amortized compute rate ``A^{k-1}(i→j, m_{k-1}) / m``, and
+        - the level-k ring all_reduce share ``2 (m-1)/m |w| / B_k^ar``,
+          amortized over the round of ``m * prev_workers`` minibatches that
+          one synchronization covers (replicas synchronize once per
+          round-robin sweep, §3.2/§4).
+
+        This is the paper's §3.1 formulation with the communication term
+        normalized to once-per-round semantics so the optimizer, the
+        discrete-event simulator, and the training runtime share one cost
+        model (see DESIGN.md).
+        """
+        if k == 1:
+            compute = self._time(i, j)
+        else:
+            entry = tables[k - 2].get((i, j, prev_capacity))
+            if entry is None:
+                return math.inf
+            compute = entry[0]
+        if m > 1 and not self.allow_replication:
+            return math.inf
+        if not self._memory_ok(i, j, m):
+            return math.inf
+        compute_term = compute / m
+        if m == 1:
+            return compute_term
+        round_size = m * prev_workers
+        weights = self._weights(i, j)
+        deferred = self._recurrent_weights(i, j)
+        ring = 2.0 * (m - 1) / m / allreduce_bandwidth
+        overlappable = ring * (weights - deferred) / round_size
+        non_overlappable = ring * deferred / round_size
+        return max(compute_term, overlappable) + non_overlappable
+
+    def _reconstruct(
+        self,
+        tables: Sequence[Dict],
+        topology: Topology,
+        k: int,
+        i: int,
+        j: int,
+        m: int,
+    ) -> List[Stage]:
+        """Flatten the nested back-pointer structure into concrete stages."""
+        if k == 0:
+            return [Stage(i, j + 1, 1)]
+        entry = tables[k - 1][(i, j, m)]
+        _, ptr = entry
+        if ptr is None:
+            # Single level-k stage replicated over m components; expand its
+            # internal level-(k-1) pipeline and multiply replica counts.
+            prev_capacity = topology.levels[k - 2].count if k >= 2 else 1
+            inner = self._reconstruct(tables, topology, k - 1, i, j, prev_capacity)
+            return [Stage(s.start, s.stop, s.replicas * m) for s in inner]
+        s, m_prime = ptr
+        left = self._reconstruct(tables, topology, k, i, s, m - m_prime)
+        prev_capacity = topology.levels[k - 2].count if k >= 2 else 1
+        inner = self._reconstruct(tables, topology, k - 1, s + 1, j, prev_capacity)
+        right = [Stage(st.start, st.stop, st.replicas * m_prime) for st in inner]
+        return left + right
+
+
+# ----------------------------------------------------------------------
+# Evaluation of arbitrary partitions (used for Figure 15 and the simulator
+# cross-checks) and communication accounting (Figure 17).
+# ----------------------------------------------------------------------
+
+def evaluate_partition(
+    profile: ModelProfile,
+    stages: Sequence[Stage],
+    bandwidth: float,
+    allreduce_efficiency: float = 1.0,
+) -> float:
+    """Bottleneck time per minibatch of an arbitrary stage list.
+
+    Applies the same cost model the DP uses, with a single (flat) link
+    bandwidth: per-stage effective time is the max of the amortized compute
+    and the once-per-round ring all_reduce share; stage boundaries pay a
+    2 a_s / B point-to-point transfer per minibatch.
+    """
+    _check_stages(profile, stages)
+    worst = 0.0
+    for idx, stage in enumerate(stages):
+        compute = profile.compute_time(stage.start, stage.stop)
+        weights = profile.weight_bytes(stage.start, stage.stop)
+        r = stage.replicas
+        cost = compute / r
+        if r > 1:
+            deferred = sum(
+                l.weight_bytes
+                for l in profile.layers[stage.start : stage.stop]
+                if l.kind in RECURRENT_KINDS
+            )
+            ring = 2.0 * (r - 1) / r / (bandwidth * allreduce_efficiency)
+            cost = max(cost, ring * (weights - deferred) / r) + ring * deferred / r
+        worst = max(worst, cost)
+        if idx + 1 < len(stages):
+            boundary = 2.0 * profile.activation_bytes(stage.stop - 1) / bandwidth
+            worst = max(worst, boundary)
+    return worst
+
+
+def communication_bytes_per_minibatch(
+    profile: ModelProfile, stages: Sequence[Stage]
+) -> float:
+    """Total bytes crossing worker boundaries per minibatch.
+
+    Stage boundaries contribute activations forward plus gradients backward
+    (2 a_s).  A stage replicated ``r`` ways synchronizes once per *round* of
+    ``r`` minibatches with a ring all_reduce moving ``2 (r-1) |w|`` bytes in
+    total, i.e. ``2 (r-1) |w| / r`` amortized per minibatch.
+    """
+    _check_stages(profile, stages)
+    total = 0.0
+    for idx, stage in enumerate(stages):
+        weights = profile.weight_bytes(stage.start, stage.stop)
+        total += 2.0 * (stage.replicas - 1) * weights / stage.replicas
+        if idx + 1 < len(stages):
+            total += 2.0 * profile.activation_bytes(stage.stop - 1)
+    return total
+
+
+def data_parallel_bytes_per_minibatch(profile: ModelProfile, num_workers: int) -> float:
+    """Communication volume of vanilla DP: the single-replicated-stage case."""
+    stage = Stage(0, len(profile), num_workers)
+    return communication_bytes_per_minibatch(profile, [stage])
+
+
+def _check_stages(profile: ModelProfile, stages: Sequence[Stage]) -> None:
+    if not stages:
+        raise ValueError("empty stage list")
+    if stages[0].start != 0 or stages[-1].stop != len(profile):
+        raise ValueError("stages must cover the whole model")
+    for left, right in zip(stages, stages[1:]):
+        if left.stop != right.start:
+            raise ValueError("stages must be contiguous")
+
+
+def evaluate_partition_on_topology(
+    profile: ModelProfile,
+    stages: Sequence[Stage],
+    topology: Topology,
+) -> float:
+    """Bottleneck time per minibatch of a stage list on a real topology.
+
+    Uses the same placement and hierarchical all_reduce model as the
+    discrete-event simulator: workers are packed stage-major and
+    innermost-first; a stage's sync is one ring all_reduce over its replica
+    group per round of ``replicas`` minibatches (with the non-overlappable
+    BPTT portion charged additively); stage boundaries pay a point-to-point
+    transfer at the bandwidth of the link between adjacent groups.
+    """
+    from repro.sim.network import Placement, allreduce_time
+
+    _check_stages(profile, stages)
+    placement = Placement(topology)
+    worst = 0.0
+    scale = topology.compute_scale
+    next_worker = 0
+    groups = []
+    for stage in stages:
+        groups.append(list(range(next_worker, next_worker + stage.replicas)))
+        next_worker += stage.replicas
+    for idx, stage in enumerate(stages):
+        r = stage.replicas
+        compute = profile.compute_time(stage.start, stage.stop) / scale
+        cost = compute / r
+        if r > 1:
+            weights = profile.weight_bytes(stage.start, stage.stop)
+            deferred = sum(
+                l.weight_bytes
+                for l in profile.layers[stage.start : stage.stop]
+                if l.kind in RECURRENT_KINDS
+            )
+            stream = allreduce_time(placement, groups[idx], weights - deferred)
+            blocked = allreduce_time(placement, groups[idx], deferred)
+            cost = max(cost, stream / r) + blocked / r
+        worst = max(worst, cost)
+        if idx + 1 < len(stages):
+            src = groups[idx][-1]
+            dst = groups[idx + 1][0]
+            bandwidth = placement.link_bandwidth(src, dst)
+            worst = max(
+                worst, 2.0 * profile.activation_bytes(stage.stop - 1) / bandwidth
+            )
+    return worst
+
+
+# ----------------------------------------------------------------------
+# Brute-force reference implementation (test oracle)
+# ----------------------------------------------------------------------
+
+def brute_force_partition(
+    profile: ModelProfile,
+    topology: Topology,
+    allow_replication: bool = True,
+) -> Tuple[List[Stage], float]:
+    """Exhaustively search flat partitions of a single-level topology.
+
+    Enumerates every contiguous split into stages and every assignment of
+    the available workers to stages, evaluates each with the same cost model
+    as the DP, and returns the best.  Exponential — only for small tests.
+    """
+    if topology.num_levels != 1:
+        raise ValueError("brute force supports single-level topologies only")
+    n = len(profile)
+    workers = topology.total_workers
+    bandwidth = topology.levels[0].bandwidth
+    efficiency = topology.levels[0].allreduce_efficiency
+    best: Tuple[Optional[List[Stage]], float] = (None, math.inf)
+
+    for num_stages in range(1, min(n, workers) + 1):
+        for cuts in itertools.combinations(range(1, n), num_stages - 1):
+            bounds = [0, *cuts, n]
+            spans = list(zip(bounds[:-1], bounds[1:]))
+            for alloc in _compositions(workers, num_stages):
+                if not allow_replication and any(a != 1 for a in alloc):
+                    continue
+                stages = [Stage(s, e, a) for (s, e), a in zip(spans, alloc)]
+                cost = evaluate_partition(profile, stages, bandwidth, efficiency)
+                if cost < best[1] - 1e-15:
+                    best = (stages, cost)
+    assert best[0] is not None
+    return best[0], best[1]
+
+
+def _compositions(total: int, parts: int):
+    """All ways to write ``total`` as an ordered sum of ``parts`` positives."""
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(1, total - parts + 2):
+        for rest in _compositions(total - first, parts - 1):
+            yield (first, *rest)

@@ -1,0 +1,177 @@
+"""Per-layer profiles: the ``(T_l, a_l, w_l)`` triples of §3.1.
+
+A :class:`ModelProfile` is the sole input the partitioner needs; it can come
+from the measured profiler (timing the executable numpy model), from the
+analytic profiler (published layer statistics of the paper's full-size
+models), or be constructed by hand in tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Profile of one layer for one minibatch.
+
+    Attributes:
+        name: Layer name, matching the layer graph.
+        compute_time: ``T_l`` — combined forward+backward time (seconds) for
+            one minibatch on the reference device.
+        activation_bytes: ``a_l`` — bytes of output activations for one
+            minibatch (equal to the backward-pass input-gradient bytes).
+        weight_bytes: ``w_l`` — bytes of trainable parameters.
+        forward_time: Optional split of ``compute_time``; when absent the
+            canonical 1:2 forward:backward ratio is assumed.
+        kind: Operator family (``"conv"``, ``"fc"``, ``"lstm"``, ...).  The
+            data-parallel simulator uses it to decide *when* a layer's
+            weight gradient becomes available for wait-free backprop:
+            BPTT-accumulated kinds (``lstm``, ``embedding``) only finish at
+            the end of the backward pass and cannot overlap their
+            all_reduce, unlike conv/fc layers.
+    """
+
+    name: str
+    compute_time: float
+    activation_bytes: int
+    weight_bytes: int
+    forward_time: Optional[float] = None
+    kind: str = "other"
+
+    @property
+    def forward(self) -> float:
+        if self.forward_time is not None:
+            return self.forward_time
+        return self.compute_time / 3.0
+
+    @property
+    def backward(self) -> float:
+        return self.compute_time - self.forward
+
+
+class ModelProfile:
+    """An ordered collection of layer profiles plus minibatch metadata."""
+
+    def __init__(
+        self,
+        model_name: str,
+        layers: Sequence[LayerProfile],
+        batch_size: int,
+        bytes_per_element: int = 4,
+    ):
+        if not layers:
+            raise ValueError("profile needs at least one layer")
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        self.model_name = model_name
+        self.layers: List[LayerProfile] = list(layers)
+        self.batch_size = batch_size
+        self.bytes_per_element = bytes_per_element
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, index) -> LayerProfile:
+        return self.layers[index]
+
+    # ------------------------------------------------------------------
+    # Aggregates used by the partitioner
+    # ------------------------------------------------------------------
+    def compute_time(self, start: int, stop: int) -> float:
+        """Total T_l over layers start..stop-1."""
+        return sum(l.compute_time for l in self.layers[start:stop])
+
+    def weight_bytes(self, start: int, stop: int) -> int:
+        return sum(l.weight_bytes for l in self.layers[start:stop])
+
+    def activation_bytes(self, index: int) -> int:
+        """Output activation bytes of layer ``index`` (stage-boundary cost)."""
+        return self.layers[index].activation_bytes
+
+    @property
+    def total_compute_time(self) -> float:
+        return self.compute_time(0, len(self.layers))
+
+    @property
+    def total_weight_bytes(self) -> int:
+        return self.weight_bytes(0, len(self.layers))
+
+    def scaled(self, compute_factor: float) -> "ModelProfile":
+        """A copy with every compute time multiplied by ``compute_factor``.
+
+        Used to model faster/slower accelerators (e.g. 1080Ti vs. V100) from
+        one canonical profile.
+        """
+        layers = [
+            LayerProfile(
+                name=l.name,
+                compute_time=l.compute_time * compute_factor,
+                activation_bytes=l.activation_bytes,
+                weight_bytes=l.weight_bytes,
+                forward_time=None if l.forward_time is None else l.forward_time * compute_factor,
+                kind=l.kind,
+            )
+            for l in self.layers
+        ]
+        return ModelProfile(self.model_name, layers, self.batch_size, self.bytes_per_element)
+
+    def with_precision(self, bytes_per_element: int) -> "ModelProfile":
+        """Rescale all tensor sizes to a different element width (fp16/fp32).
+
+        Compute time is kept unchanged: Figure 12 shows communication, not
+        compute, dominates the change between precisions.
+        """
+        factor = bytes_per_element / self.bytes_per_element
+        layers = [
+            LayerProfile(
+                name=l.name,
+                compute_time=l.compute_time,
+                activation_bytes=int(l.activation_bytes * factor),
+                weight_bytes=int(l.weight_bytes * factor),
+                forward_time=l.forward_time,
+                kind=l.kind,
+            )
+            for l in self.layers
+        ]
+        return ModelProfile(self.model_name, layers, self.batch_size, bytes_per_element)
+
+    # ------------------------------------------------------------------
+    # Serialization (profiles are artifacts of the profiling step)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "model_name": self.model_name,
+            "batch_size": self.batch_size,
+            "bytes_per_element": self.bytes_per_element,
+            "layers": [asdict(l) for l in self.layers],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ModelProfile":
+        layers = [LayerProfile(**l) for l in data["layers"]]
+        return cls(
+            data["model_name"],
+            layers,
+            data["batch_size"],
+            data.get("bytes_per_element", 4),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ModelProfile":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelProfile({self.model_name!r}, {len(self.layers)} layers, "
+            f"B={self.batch_size}, T={self.total_compute_time:.4f}s, "
+            f"W={self.total_weight_bytes / 1e6:.1f}MB)"
+        )

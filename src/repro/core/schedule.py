@@ -1,0 +1,430 @@
+"""Work scheduling (§3.2): 1F1B, 1F1B-RR, and baseline schedules.
+
+A :class:`Schedule` is a *static* per-worker sequence of operations — exactly
+the artifact PipeDream computes offline and each worker then runs repeatedly
+without distributed coordination.  Ops reference (stage, minibatch) pairs;
+weight updates appear as explicit ops so both the real runtime and the
+performance simulator can interpret the same schedule.
+
+1F1B generation: the startup phase admits NOAM minibatches per input-stage
+replica, after which every worker strictly alternates between forward and
+backward passes.  For straight pipelines the schedule is produced in closed
+form (warmup of ``num_stages - s`` forwards at stage ``s``, Figure 4).  For
+replicated stages, 1F1B-RR routes minibatch ``b`` to replica ``b mod r`` and
+the static order is derived by a deterministic logical simulation of the
+backward-priority rule, which reduces to the closed form in the straight
+case (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.partition import Stage
+
+
+class OpKind(Enum):
+    FORWARD = "F"
+    BACKWARD = "B"
+    UPDATE = "U"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One scheduled operation on a worker."""
+
+    kind: OpKind
+    stage: int
+    minibatch: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}{self.minibatch}@s{self.stage}"
+
+
+@dataclass
+class Schedule:
+    """A static pipeline schedule.
+
+    Attributes:
+        stages: the stage list (layer ranges + replica counts).
+        num_minibatches: how many minibatches the schedule covers.
+        worker_ops: op list per global worker id, in execution order.
+        stage_workers: worker ids serving each stage, replica-indexed.
+        noam: in-flight minibatches admitted per input-stage replica.
+        flush_after: for GPipe-style schedules, minibatch ids after whose
+            UPDATE the pipeline flushes (empty for 1F1B).
+    """
+
+    stages: List[Stage]
+    num_minibatches: int
+    worker_ops: Dict[int, List[Op]]
+    stage_workers: Dict[int, List[int]]
+    noam: int
+    flush_after: List[int] = field(default_factory=list)
+
+    @property
+    def num_workers(self) -> int:
+        return sum(len(w) for w in self.stage_workers.values())
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def replica_for(self, stage: int, minibatch: int) -> int:
+        """Worker id serving ``minibatch`` at ``stage`` (round-robin rule)."""
+        workers = self.stage_workers[stage]
+        return workers[minibatch % len(workers)]
+
+    def ops_of_kind(self, worker: int, kind: OpKind) -> List[Op]:
+        return [op for op in self.worker_ops[worker] if op.kind == kind]
+
+    def steady_state_pattern(self, worker: int, skip: int = 0) -> str:
+        """F/B pattern string for a worker after ``skip`` warmup ops."""
+        ops = [op for op in self.worker_ops[worker] if op.kind != OpKind.UPDATE]
+        return "".join(op.kind.value for op in ops[skip:])
+
+
+def _assign_workers(stages: Sequence[Stage]) -> Dict[int, List[int]]:
+    """Give each stage replica a global worker id, stage-major."""
+    stage_workers: Dict[int, List[int]] = {}
+    next_id = 0
+    for s, stage in enumerate(stages):
+        stage_workers[s] = list(range(next_id, next_id + stage.replicas))
+        next_id += stage.replicas
+    return stage_workers
+
+
+def compute_noam(stages: Sequence[Stage]) -> int:
+    """NUM_OPT_ACTIVE_MINIBATCHES per input-stage replica (§3.2)."""
+    workers = sum(stage.replicas for stage in stages)
+    return max(1, math.ceil(workers / stages[0].replicas))
+
+
+# ----------------------------------------------------------------------
+# Straight 1F1B (closed form, Figure 4)
+# ----------------------------------------------------------------------
+
+def one_f_one_b_schedule(num_stages: int, num_minibatches: int,
+                         layer_bounds: Optional[Sequence[Tuple[int, int]]] = None) -> Schedule:
+    """The canonical 1F1B schedule for a straight pipeline.
+
+    Stage ``s`` performs ``num_stages - s`` warmup forward passes, then
+    strictly alternates backward/forward, then drains remaining backwards.
+    Every backward is immediately followed by that stage's weight update.
+    """
+    if num_stages < 1:
+        raise ValueError("need at least one stage")
+    if layer_bounds is None:
+        layer_bounds = [(s, s + 1) for s in range(num_stages)]
+    stages = [Stage(b[0], b[1], 1) for b in layer_bounds]
+    stage_workers = _assign_workers(stages)
+    worker_ops: Dict[int, List[Op]] = {}
+    for s in range(num_stages):
+        ops: List[Op] = []
+        warmup = min(num_stages - s, num_minibatches)
+        fwd = bwd = 0
+        for _ in range(warmup):
+            ops.append(Op(OpKind.FORWARD, s, fwd))
+            fwd += 1
+        while bwd < num_minibatches:
+            ops.append(Op(OpKind.BACKWARD, s, bwd))
+            ops.append(Op(OpKind.UPDATE, s, bwd))
+            bwd += 1
+            if fwd < num_minibatches:
+                ops.append(Op(OpKind.FORWARD, s, fwd))
+                fwd += 1
+        worker_ops[stage_workers[s][0]] = ops
+    return Schedule(
+        stages=stages,
+        num_minibatches=num_minibatches,
+        worker_ops=worker_ops,
+        stage_workers=stage_workers,
+        noam=num_stages,
+    )
+
+
+# ----------------------------------------------------------------------
+# Generalized 1F1B-RR (logical simulation of the backward-priority rule)
+# ----------------------------------------------------------------------
+
+def replica_minibatches(stage: Stage, replica_index: int, num_minibatches: int) -> List[int]:
+    """Minibatch ids routed to one replica by the deterministic round-robin
+    rule: minibatch ``b`` goes to replica ``b mod r`` (§3.2)."""
+    return list(range(replica_index, num_minibatches, stage.replicas))
+
+
+def warmup_count(stages: Sequence[Stage], stage_index: int) -> int:
+    """Startup forward passes per replica of ``stage_index``.
+
+    Generalizes the straight-pipeline warmup of ``num_stages - s`` (Figure 4)
+    to replicated stages: a replica must forward enough of *its own*
+    minibatches to cover the workers at and downstream of its stage, i.e.
+    ``ceil(sum_{t >= s} r_t / r_s)``.  For the input stage this equals NOAM.
+    """
+    downstream = sum(stage.replicas for stage in stages[stage_index:])
+    return max(1, math.ceil(downstream / stages[stage_index].replicas))
+
+
+def one_f_one_b_rr_schedule(
+    stages: Sequence[Stage],
+    num_minibatches: int,
+    noam: Optional[int] = None,
+    in_flight_per_replica: Optional[int] = None,
+) -> Schedule:
+    """1F1B-RR for pipelines with replicated stages (§3.2, Figure 8).
+
+    Minibatch ``b`` is deterministically routed to replica ``b mod r_s`` of
+    stage ``s`` for both its forward and backward pass.  Each replica runs
+    the 1F1B pattern over its own minibatch subsequence: ``warmup_count``
+    startup forwards, strict backward/forward alternation in steady state,
+    then a drain of remaining backwards.  For a straight pipeline this is
+    exactly :func:`one_f_one_b_schedule`.
+
+    ``in_flight_per_replica`` caps the startup depth below the optimal
+    warmup — the pipeline-depth knob of Figure 18 (1 = no inter-batch
+    pipelining at all, i.e. model/hybrid parallelism on these stages).
+    """
+    stages = list(stages)
+    if noam is None:
+        noam = compute_noam(stages)
+    stage_workers = _assign_workers(stages)
+    worker_ops: Dict[int, List[Op]] = {}
+
+    warmups: List[int] = []
+    for s, stage in enumerate(stages):
+        warmup = warmup_count(stages, s)
+        if in_flight_per_replica is not None:
+            # Shift every stage's startup depth so the input stage admits
+            # exactly ``in_flight_per_replica`` minibatches: shallower than
+            # NOAM trades throughput for memory, deeper stashes more
+            # versions to hide more communication (Figure 18).
+            depth = max(1, in_flight_per_replica)
+            delta = depth - compute_noam(stages)
+            warmup = warmup + delta if delta >= 0 else min(warmup, depth)
+        if s > 0:
+            # Deadlock-freedom: a stage cannot hold more minibatches than
+            # its upstream forwards before blocking on its first backward.
+            upstream_global = stages[s - 1].replicas * warmups[s - 1]
+            warmup = min(warmup, upstream_global // stage.replicas)
+        warmups.append(max(1, warmup))
+
+    for s, stage in enumerate(stages):
+        warmup = warmups[s]
+        for q, worker in enumerate(stage_workers[s]):
+            own = replica_minibatches(stage, q, num_minibatches)
+            ops: List[Op] = []
+            fwd = bwd = 0
+            for _ in range(min(warmup, len(own))):
+                ops.append(Op(OpKind.FORWARD, s, own[fwd]))
+                fwd += 1
+            while bwd < len(own):
+                ops.append(Op(OpKind.BACKWARD, s, own[bwd]))
+                ops.append(Op(OpKind.UPDATE, s, own[bwd]))
+                bwd += 1
+                if fwd < len(own):
+                    ops.append(Op(OpKind.FORWARD, s, own[fwd]))
+                    fwd += 1
+            worker_ops[worker] = ops
+    return Schedule(
+        stages=stages,
+        num_minibatches=num_minibatches,
+        worker_ops=worker_ops,
+        stage_workers=stage_workers,
+        noam=noam,
+    )
+
+
+# ----------------------------------------------------------------------
+# Baseline schedules
+# ----------------------------------------------------------------------
+
+def model_parallel_schedule(num_stages: int, num_minibatches: int,
+                            layer_bounds: Optional[Sequence[Tuple[int, int]]] = None) -> Schedule:
+    """Vanilla model parallelism (Figure 2): one minibatch in flight."""
+    if layer_bounds is None:
+        layer_bounds = [(s, s + 1) for s in range(num_stages)]
+    stages = [Stage(b[0], b[1], 1) for b in layer_bounds]
+    stage_workers = _assign_workers(stages)
+    worker_ops: Dict[int, List[Op]] = {stage_workers[s][0]: [] for s in range(num_stages)}
+    for mb in range(num_minibatches):
+        for s in range(num_stages):
+            worker_ops[stage_workers[s][0]].append(Op(OpKind.FORWARD, s, mb))
+        for s in reversed(range(num_stages)):
+            worker_ops[stage_workers[s][0]].append(Op(OpKind.BACKWARD, s, mb))
+            worker_ops[stage_workers[s][0]].append(Op(OpKind.UPDATE, s, mb))
+    return Schedule(
+        stages=stages,
+        num_minibatches=num_minibatches,
+        worker_ops=worker_ops,
+        stage_workers=stage_workers,
+        noam=1,
+    )
+
+
+def gpipe_schedule(
+    num_stages: int,
+    num_batches: int,
+    num_microbatches: int,
+    layer_bounds: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Schedule:
+    """GPipe-style microbatch pipelining with a flush per batch (Figure 3).
+
+    Each batch is split into ``num_microbatches`` microbatches; all forwards
+    run, then all backwards, then every stage applies the aggregated update
+    and the pipeline flushes before the next batch.  Microbatch ids are
+    flattened as ``batch * num_microbatches + micro``.
+    """
+    if layer_bounds is None:
+        layer_bounds = [(s, s + 1) for s in range(num_stages)]
+    stages = [Stage(b[0], b[1], 1) for b in layer_bounds]
+    stage_workers = _assign_workers(stages)
+    worker_ops: Dict[int, List[Op]] = {stage_workers[s][0]: [] for s in range(num_stages)}
+    flush_after: List[int] = []
+    for batch in range(num_batches):
+        base = batch * num_microbatches
+        for s in range(num_stages):
+            ops = worker_ops[stage_workers[s][0]]
+            for micro in range(num_microbatches):
+                ops.append(Op(OpKind.FORWARD, s, base + micro))
+        for s in reversed(range(num_stages)):
+            ops = worker_ops[stage_workers[s][0]]
+            for micro in reversed(range(num_microbatches)):
+                ops.append(Op(OpKind.BACKWARD, s, base + micro))
+            ops.append(Op(OpKind.UPDATE, s, base + num_microbatches - 1))
+        flush_after.append(base + num_microbatches - 1)
+    return Schedule(
+        stages=stages,
+        num_minibatches=num_batches * num_microbatches,
+        worker_ops=worker_ops,
+        stage_workers=stage_workers,
+        noam=num_microbatches,
+        flush_after=flush_after,
+    )
+
+
+def data_parallel_schedule(num_workers: int, num_minibatches: int,
+                           num_layers: int = 1) -> Schedule:
+    """BSP data parallelism: one replicated stage (the degenerate pipeline).
+
+    Worker ``w`` processes minibatch partition ``b`` and synchronizes
+    weights after every backward (the UPDATE op doubles as the all_reduce
+    marker for the simulator).
+    """
+    stages = [Stage(0, num_layers, num_workers)]
+    stage_workers = _assign_workers(stages)
+    worker_ops: Dict[int, List[Op]] = {}
+    for w in stage_workers[0]:
+        ops: List[Op] = []
+        for mb in range(num_minibatches):
+            ops.append(Op(OpKind.FORWARD, 0, mb))
+            ops.append(Op(OpKind.BACKWARD, 0, mb))
+            ops.append(Op(OpKind.UPDATE, 0, mb))
+        worker_ops[w] = ops
+    return Schedule(
+        stages=stages,
+        num_minibatches=num_minibatches,
+        worker_ops=worker_ops,
+        stage_workers=stage_workers,
+        noam=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# Validation (the invariants §3.2 and §3.3 rely on)
+# ----------------------------------------------------------------------
+
+def validate_schedule(schedule: Schedule) -> None:
+    """Check the structural invariants of a pipeline schedule.
+
+    - every (stage, minibatch) has exactly one forward and one backward;
+    - forward and backward of a minibatch run on the *same* replica
+      (required for weight stashing and intermediate-state reuse);
+    - per-worker order: a minibatch's backward never precedes its forward;
+    - there is a consistent global order (the cross-worker dependency graph
+      forward chain + backward chain is acyclic by construction; we verify
+      per-stage forward order matches minibatch order per replica).
+
+    Raises ``ValueError`` on violation.
+    """
+    seen_f: Dict[Tuple[int, int], int] = {}
+    seen_b: Dict[Tuple[int, int], int] = {}
+    for worker, ops in schedule.worker_ops.items():
+        position: Dict[Tuple[OpKind, int, int], int] = {}
+        for idx, op in enumerate(ops):
+            key = (op.kind, op.stage, op.minibatch)
+            if key in position and op.kind != OpKind.UPDATE:
+                raise ValueError(f"duplicate op {op} on worker {worker}")
+            position[key] = idx
+        for op in ops:
+            if op.kind == OpKind.FORWARD:
+                seen_f[(op.stage, op.minibatch)] = worker
+            elif op.kind == OpKind.BACKWARD:
+                seen_b[(op.stage, op.minibatch)] = worker
+                fkey = (OpKind.FORWARD, op.stage, op.minibatch)
+                bkey = (OpKind.BACKWARD, op.stage, op.minibatch)
+                if fkey in position and position[bkey] < position[fkey]:
+                    raise ValueError(
+                        f"backward before forward for mb {op.minibatch} "
+                        f"stage {op.stage} on worker {worker}"
+                    )
+
+    for s in range(schedule.num_stages):
+        for mb in range(schedule.num_minibatches):
+            if (s, mb) not in seen_f:
+                raise ValueError(f"missing forward for stage {s} mb {mb}")
+            if (s, mb) not in seen_b:
+                raise ValueError(f"missing backward for stage {s} mb {mb}")
+            if seen_f[(s, mb)] != seen_b[(s, mb)]:
+                raise ValueError(
+                    f"forward/backward replica mismatch for stage {s} mb {mb}: "
+                    f"{seen_f[(s, mb)]} vs {seen_b[(s, mb)]}"
+                )
+
+    _check_executable(schedule)
+
+
+def _check_executable(schedule: Schedule) -> None:
+    """Verify the static schedule is deadlock-free.
+
+    Greedily executes ops respecting the cross-worker data dependencies
+    (forward chain downstream, backward chain upstream, last-stage backward
+    after its own forward).  If no worker can make progress while ops
+    remain, the schedule would hang a real pipeline.
+    """
+    last_stage = schedule.num_stages - 1
+    counters = {worker: 0 for worker in schedule.worker_ops}
+    done_f: set = set()
+    done_b: set = set()
+
+    def ready(op: Op) -> bool:
+        if op.kind == OpKind.FORWARD:
+            return op.stage == 0 or (op.stage - 1, op.minibatch) in done_f
+        if op.kind == OpKind.BACKWARD:
+            if op.stage == last_stage:
+                return (op.stage, op.minibatch) in done_f
+            return (op.stage + 1, op.minibatch) in done_b
+        return True  # UPDATE follows its backward on the same worker
+
+    remaining = sum(len(ops) for ops in schedule.worker_ops.values())
+    while remaining:
+        progressed = False
+        for worker, ops in schedule.worker_ops.items():
+            while counters[worker] < len(ops) and ready(ops[counters[worker]]):
+                op = ops[counters[worker]]
+                if op.kind == OpKind.FORWARD:
+                    done_f.add((op.stage, op.minibatch))
+                elif op.kind == OpKind.BACKWARD:
+                    done_b.add((op.stage, op.minibatch))
+                counters[worker] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:
+            stuck = {
+                worker: ops[counters[worker]]
+                for worker, ops in schedule.worker_ops.items()
+                if counters[worker] < len(ops)
+            }
+            raise ValueError(f"schedule deadlocks; blocked ops: {stuck}")

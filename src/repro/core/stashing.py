@@ -1,0 +1,154 @@
+"""Weight stashing and vertical sync (§3.3).
+
+A :class:`WeightStore` manages the versioned parameters of **one stage
+replica**.  The forward pass of minibatch ``b`` reads the latest committed
+version and stashes a reference to it under ``b``; the backward pass of
+``b`` retrieves exactly that version, guaranteeing the gradient is computed
+with the same weights the forward pass used.  Versions are reference-counted
+copies-on-commit: a stash holds an immutable snapshot, so the number of live
+snapshots is bounded by the number of in-flight minibatches (the memory
+argument of §3.3).
+
+Vertical sync additionally tags each minibatch at the input stage with the
+weight version it saw there; downstream stages then use *their* snapshot of
+that same version number instead of their latest, making the effective update
+
+    w(t+1) = w(t) - nu * grad f(w1^(t-n+1), ..., wn^(t-n+1)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WeightVersion:
+    """An immutable snapshot of a stage's parameters."""
+
+    version: int
+    state: Dict[str, np.ndarray]
+
+    def get(self, name: str) -> np.ndarray:
+        return self.state[name]
+
+
+class WeightStore:
+    """Versioned parameter storage for one stage replica.
+
+    Policies (matching the paper's ablation space):
+
+    - ``"stashing"``    — PipeDream default; forward uses latest, backward
+      uses the stashed forward version.
+    - ``"vertical_sync"`` — forward *and* backward use the version pinned at
+      the input stage for that minibatch.
+    - ``"none"``        — naive pipelining; backward uses whatever is latest
+      (numerically incorrect gradients, kept for the §3.3 ablation).
+    """
+
+    POLICIES = ("stashing", "vertical_sync", "none")
+
+    def __init__(self, initial_state: Dict[str, np.ndarray], policy: str = "stashing"):
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; expected one of {self.POLICIES}")
+        self.policy = policy
+        self._latest = WeightVersion(0, {k: v.copy() for k, v in initial_state.items()})
+        self._versions: Dict[int, WeightVersion] = {0: self._latest}
+        self._stash: Dict[int, int] = {}  # minibatch -> version number
+        self._pins: Dict[int, int] = {}  # minibatch -> pinned version (vertical sync)
+        # Vertical sync: a version may be pinned by a minibatch whose forward
+        # has not reached this stage yet, so versions are retained until a
+        # backward pass releases them (§3.3: "... can then delete w(i-x)").
+        self._released = -1
+
+    # ------------------------------------------------------------------
+    # Version lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def latest_version(self) -> int:
+        return self._latest.version
+
+    @property
+    def num_live_versions(self) -> int:
+        return len(self._versions)
+
+    def commit(self, new_state: Dict[str, np.ndarray]) -> int:
+        """Install updated weights as a new latest version; returns its id."""
+        version = self._latest.version + 1
+        self._latest = WeightVersion(version, {k: v.copy() for k, v in new_state.items()})
+        self._versions[version] = self._latest
+        self._collect()
+        return version
+
+    def _collect(self) -> None:
+        """Drop versions no in-flight minibatch references.
+
+        The paper: "parameters are discarded only once a backward pass that
+        uses fresher parameters is performed" — equivalently, a version is
+        live while any stash or pin references it, or it is latest.
+        """
+        referenced = set(self._stash.values()) | set(self._pins.values())
+        referenced.add(self._latest.version)
+        for version in list(self._versions):
+            if version in referenced:
+                continue
+            if self.policy == "vertical_sync" and version > self._released:
+                continue  # an in-flight minibatch may still pin this version
+            del self._versions[version]
+
+    # ------------------------------------------------------------------
+    # Forward / backward access
+    # ------------------------------------------------------------------
+    def pin(self, minibatch: int, version: int) -> None:
+        """Vertical sync: pin ``minibatch`` to the version seen at the
+        input stage (propagated along with activations)."""
+        if self.policy != "vertical_sync":
+            raise RuntimeError("pin() is only meaningful under vertical_sync")
+        # The pinned version may predate this replica's history (stages see
+        # different commit counts); fall back to the newest version <= pin.
+        candidates = [v for v in self._versions if v <= version]
+        resolved = max(candidates) if candidates else self._latest.version
+        self._pins[minibatch] = resolved
+
+    def weights_for_forward(self, minibatch: int) -> WeightVersion:
+        """Select and stash the weight version for a forward pass."""
+        if self.policy == "vertical_sync" and minibatch in self._pins:
+            chosen = self._versions[self._pins[minibatch]]
+        else:
+            chosen = self._latest
+        if self.policy != "none":
+            self._stash[minibatch] = chosen.version
+        return chosen
+
+    def weights_for_backward(self, minibatch: int) -> WeightVersion:
+        """Select the version for a backward pass (and release the stash)."""
+        if self.policy == "none":
+            return self._latest
+        if minibatch not in self._stash:
+            raise KeyError(
+                f"backward for minibatch {minibatch} has no stashed weights; "
+                f"was its forward run on this replica?"
+            )
+        version = self._versions[self._stash.pop(minibatch)]
+        self._pins.pop(minibatch, None)
+        if self.policy == "vertical_sync":
+            # Pins are monotone non-decreasing in minibatch id, so no later
+            # minibatch will pin a version *below* this one: release those.
+            self._released = max(self._released, version.version - 1)
+        self._collect()
+        return version
+
+    def stashed_version(self, minibatch: int) -> Optional[int]:
+        return self._stash.get(minibatch)
+
+    def live_versions(self) -> List[int]:
+        return sorted(self._versions)
+
+    def memory_bytes(self) -> int:
+        """Bytes held across all live versions (Figure 16 accounting)."""
+        return sum(
+            sum(arr.nbytes for arr in version.state.values())
+            for version in self._versions.values()
+        )

@@ -1,0 +1,117 @@
+"""Image augmentation and dataset-split utilities.
+
+The paper trains with the standard ImageNet recipe (random crops and
+horizontal flips) and measures *validation* accuracy; these numpy
+implementations complete that substrate for the synthetic image tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def train_val_split(
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    val_fraction: float = 0.2,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle once and split into (train_x, train_y, val_x, val_y)."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    if len(inputs) != len(targets):
+        raise ValueError("inputs and targets must have the same length")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(inputs))
+    split = int(round(len(inputs) * (1.0 - val_fraction)))
+    if split == 0 or split == len(inputs):
+        raise ValueError("split leaves one side empty; adjust val_fraction")
+    train_idx, val_idx = order[:split], order[split:]
+    return inputs[train_idx], targets[train_idx], inputs[val_idx], targets[val_idx]
+
+
+def random_horizontal_flip(
+    images: np.ndarray,
+    probability: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Flip each NCHW image left-right with the given probability."""
+    rng = rng if rng is not None else np.random.default_rng()
+    out = images.copy()
+    flips = rng.random(len(images)) < probability
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+def random_crop(
+    images: np.ndarray,
+    padding: int = 2,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Pad each NCHW image by ``padding`` and crop back at a random offset
+    (the CIFAR-style crop augmentation)."""
+    rng = rng if rng is not None else np.random.default_rng()
+    n, c, h, w = images.shape
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    )
+    out = np.empty_like(images)
+    offsets_y = rng.integers(0, 2 * padding + 1, n)
+    offsets_x = rng.integers(0, 2 * padding + 1, n)
+    for i in range(n):
+        oy, ox = offsets_y[i], offsets_x[i]
+        out[i] = padded[i, :, oy : oy + h, ox : ox + w]
+    return out
+
+
+def normalize_images(
+    images: np.ndarray,
+    mean: Optional[np.ndarray] = None,
+    std: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-channel standardisation; returns (normalized, mean, std).
+
+    When mean/std are omitted they are computed from ``images`` (fit on the
+    training split, then reuse on validation).
+    """
+    if mean is None:
+        mean = images.mean(axis=(0, 2, 3))
+    if std is None:
+        std = images.std(axis=(0, 2, 3))
+    std = np.where(std == 0, 1.0, std)
+    normalized = (images - mean[None, :, None, None]) / std[None, :, None, None]
+    return normalized, mean, std
+
+
+class AugmentedBatcher:
+    """Epoch iterator applying flip+crop augmentation to training batches."""
+
+    def __init__(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        batch_size: int,
+        crop_padding: int = 2,
+        flip_probability: float = 0.5,
+        seed: int = 0,
+    ):
+        from repro.data.synthetic import Batcher
+
+        self._batcher = Batcher(inputs, targets, batch_size, shuffle=True,
+                                seed=seed)
+        self._rng = np.random.default_rng(seed + 1)
+        self.crop_padding = crop_padding
+        self.flip_probability = flip_probability
+
+    @property
+    def num_batches(self) -> int:
+        return self._batcher.num_batches
+
+    def epoch(self):
+        for x, y in self._batcher.epoch():
+            x = random_horizontal_flip(x, self.flip_probability, self._rng)
+            if self.crop_padding > 0:
+                x = random_crop(x, self.crop_padding, self._rng)
+            yield x, y

@@ -1,0 +1,45 @@
+"""Scaled-down AlexNet (Krizhevsky et al.).
+
+Five conv layers followed by three large fully-connected layers; like the
+original, most parameters sit in the FC tail (the property Krizhevsky's
+"one weird trick" and PipeDream's 15-1 configuration both exploit).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import LayeredModel
+from repro.nn import Conv2d, Flatten, Linear, MaxPool2d, Module, ReLU, Sequential
+
+
+def build_alexnet(
+    scale: float = 1.0,
+    num_classes: int = 10,
+    image_size: int = 32,
+    rng: Optional[np.random.Generator] = None,
+) -> LayeredModel:
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    def ch(n: int) -> int:
+        return max(4, int(n * scale))
+
+    layers: List[Tuple[str, Module]] = [
+        ("conv1", Sequential(Conv2d(3, ch(16), 3, padding=1, rng=rng), ReLU())),
+        ("pool1", MaxPool2d(2)),
+        ("conv2", Sequential(Conv2d(ch(16), ch(48), 3, padding=1, rng=rng), ReLU())),
+        ("pool2", MaxPool2d(2)),
+        ("conv3", Sequential(Conv2d(ch(48), ch(96), 3, padding=1, rng=rng), ReLU())),
+        ("conv4", Sequential(Conv2d(ch(96), ch(64), 3, padding=1, rng=rng), ReLU())),
+        ("conv5", Sequential(Conv2d(ch(64), ch(64), 3, padding=1, rng=rng), ReLU())),
+        ("pool5", MaxPool2d(2)),
+        ("flatten", Flatten()),
+    ]
+    flat = ch(64) * (image_size // 8) ** 2
+    fc = max(32, int(512 * scale))
+    layers.append(("fc6", Sequential(Linear(flat, fc, rng=rng), ReLU())))
+    layers.append(("fc7", Sequential(Linear(fc, fc, rng=rng), ReLU())))
+    layers.append(("fc8", Linear(fc, num_classes, rng=rng)))
+    return LayeredModel("alexnet-small", layers)

@@ -1,0 +1,48 @@
+"""Scaled-down GNMT (Wu et al.): a deep LSTM stack for translation.
+
+The paper partitions GNMT-8/GNMT-16 as a sequence of LSTM layers, which is
+exactly the layered form here: embedding, ``num_lstm_layers`` stacked
+sequence LSTMs with residual connections (as in GNMT), and a projection to
+the target vocabulary.  The synthetic translation task (see
+``repro.data.seq2seq``) is length-aligned, so the stack maps source tokens
+directly to target logits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import LayeredModel
+from repro.nn import LSTM, Embedding, Linear, Module
+
+
+class ResidualLSTM(Module):
+    """LSTM layer with an additive skip connection (GNMT-style)."""
+
+    def __init__(self, hidden_size: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.lstm = LSTM(hidden_size, hidden_size, rng=rng)
+
+    def forward(self, x):
+        return self.lstm(x) + x
+
+
+def build_gnmt(
+    num_lstm_layers: int = 8,
+    vocab_size: int = 32,
+    hidden_size: int = 24,
+    rng: Optional[np.random.Generator] = None,
+) -> LayeredModel:
+    """GNMT-``num_lstm_layers``; each LSTM layer is one pipeline layer."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    layers: List[Tuple[str, Module]] = [
+        ("embed", Embedding(vocab_size, hidden_size, rng=rng)),
+        ("lstm1", LSTM(hidden_size, hidden_size, rng=rng)),
+    ]
+    for i in range(2, num_lstm_layers + 1):
+        layers.append((f"lstm{i}", ResidualLSTM(hidden_size, rng=rng)))
+    layers.append(("proj", Linear(hidden_size, vocab_size, rng=rng)))
+    model = LayeredModel(f"gnmt-{num_lstm_layers}", layers, input_kind="int")
+    return model

@@ -1,0 +1,28 @@
+"""A small MLP — the workhorse of unit and integration tests."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.models.base import LayeredModel
+from repro.nn import Linear, ReLU, Sequential
+
+
+def build_mlp(
+    in_features: int = 16,
+    hidden: Sequence[int] = (32, 32),
+    num_classes: int = 4,
+    rng: Optional[np.random.Generator] = None,
+) -> LayeredModel:
+    """Build an MLP where each Linear+ReLU block is one partitionable layer."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    layers = []
+    prev = in_features
+    for i, width in enumerate(hidden):
+        block = Sequential(Linear(prev, width, rng=rng), ReLU())
+        layers.append((f"fc{i + 1}", block))
+        prev = width
+    layers.append(("head", Linear(prev, num_classes, rng=rng)))
+    return LayeredModel("mlp", layers)

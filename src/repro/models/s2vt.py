@@ -1,0 +1,33 @@
+"""Scaled-down S2VT video-captioning model (Venugopalan et al.).
+
+S2VT is a sequence-to-sequence model over per-frame visual features.  The
+layered form is a frame-feature encoder (FC applied per time step), two
+stacked LSTMs, and a vocabulary decoder — trained on the synthetic
+captioning task of :mod:`repro.data.captioning` where caption tokens are a
+learnable function of the frame features.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import LayeredModel
+from repro.nn import LSTM, Linear, Module, ReLU, Sequential
+
+
+def build_s2vt(
+    feature_size: int = 32,
+    hidden_size: int = 24,
+    vocab_size: int = 24,
+    rng: Optional[np.random.Generator] = None,
+) -> LayeredModel:
+    rng = rng if rng is not None else np.random.default_rng(0)
+    layers: List[Tuple[str, Module]] = [
+        ("encoder", Sequential(Linear(feature_size, hidden_size, rng=rng), ReLU())),
+        ("lstm1", LSTM(hidden_size, hidden_size, rng=rng)),
+        ("lstm2", LSTM(hidden_size, hidden_size, rng=rng)),
+        ("decoder", Linear(hidden_size, vocab_size, rng=rng)),
+    ]
+    return LayeredModel("s2vt", layers)

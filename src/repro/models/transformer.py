@@ -1,0 +1,73 @@
+"""A small Transformer language model — the paper's "attention layers"
+model family (§2.3), included as an extension of the model zoo.
+
+Layered form: token embedding (+ learned positions), a stack of encoder
+blocks (each one pipeline layer), a final LayerNorm, and the vocabulary
+head.  Like the LSTM models, Transformer weights are dense and activations
+are small relative to them, so the partitioner favors straight pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff.engine import Tensor
+from repro.models.base import LayeredModel
+from repro.nn import Embedding, Linear, Module
+from repro.nn.attention import LayerNorm, TransformerEncoderLayer
+from repro.nn.module import Parameter
+from repro.nn import init
+
+
+class TokenAndPositionEmbedding(Module):
+    """Token embedding plus a learned positional table."""
+
+    def __init__(self, vocab_size: int, dim: int, max_len: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.tokens = Embedding(vocab_size, dim, rng=rng)
+        self.positions = Parameter(init.normal((max_len, dim), 0.05, rng))
+        self.max_len = max_len
+
+    def forward(self, indices) -> Tensor:
+        if isinstance(indices, Tensor):
+            indices = indices.data
+        indices = np.asarray(indices, dtype=np.int64)
+        steps = indices.shape[1]
+        if steps > self.max_len:
+            raise ValueError(f"sequence of {steps} exceeds max_len={self.max_len}")
+        embedded = self.tokens(indices)
+        return embedded + self.positions[:steps, :]
+
+
+def build_transformer(
+    num_layers: int = 2,
+    vocab_size: int = 32,
+    dim: int = 16,
+    num_heads: int = 2,
+    max_len: int = 32,
+    dropout: float = 0.0,
+    causal: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> LayeredModel:
+    """Build a Transformer LM; each encoder block is one pipeline layer.
+
+    ``causal=True`` (default) masks attention autoregressively so the
+    next-token objective cannot peek at its targets.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    layers: List[Tuple[str, Module]] = [
+        ("embed", TokenAndPositionEmbedding(vocab_size, dim, max_len, rng=rng)),
+    ]
+    for i in range(1, num_layers + 1):
+        layers.append(
+            (f"block{i}",
+             TransformerEncoderLayer(dim, num_heads, dropout=dropout,
+                                     causal=causal, rng=rng))
+        )
+    layers.append(("norm", LayerNorm(dim)))
+    layers.append(("head", Linear(dim, vocab_size, rng=rng)))
+    return LayeredModel(f"transformer-{num_layers}", layers, input_kind="int")

@@ -1,0 +1,58 @@
+"""Scaled-down VGG-16 (Simonyan & Zisserman).
+
+The structure mirrors full VGG-16 — five conv blocks with pooling followed
+by three fully-connected layers — at reduced channel counts and 32x32 input
+so it trains on CPU.  Crucially it preserves the property the paper's
+results hinge on: convolutional layers have *small weights and large
+activations* while the FC layers have *large weights and small activations*,
+so the partitioner replicates the conv front and isolates the FC tail
+(the "15-1" configuration of Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.base import LayeredModel
+from repro.nn import Conv2d, Flatten, Linear, MaxPool2d, Module, ReLU, Sequential
+
+# (block, channels, convs-in-block) at scale factor 1.0; full VGG-16 would be
+# channels (64, 128, 256, 512, 512) with (2, 2, 3, 3, 3) convs.
+_BLOCKS: Sequence[Tuple[int, int]] = ((16, 2), (32, 2), (64, 3), (64, 3), (64, 3))
+
+
+def build_vgg(
+    scale: float = 1.0,
+    num_classes: int = 10,
+    image_size: int = 32,
+    fc_width: int = 512,
+    rng: Optional[np.random.Generator] = None,
+) -> LayeredModel:
+    """Build the scaled VGG-16.  Each conv (+ReLU) and each pool is a layer."""
+    if image_size < 32:
+        raise ValueError("VGG has five 2x pooling stages; image_size must be >= 32")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    layers: List[Tuple[str, Module]] = []
+    in_channels = 3
+    size = image_size
+    for b, (channels, convs) in enumerate(_BLOCKS, start=1):
+        channels = max(4, int(channels * scale))
+        for c in range(1, convs + 1):
+            block = Sequential(
+                Conv2d(in_channels, channels, 3, padding=1, rng=rng), ReLU()
+            )
+            layers.append((f"conv{b}_{c}", block))
+            in_channels = channels
+        layers.append((f"pool{b}", MaxPool2d(2)))
+        size //= 2
+    flat = in_channels * size * size
+    # Like full VGG-16, the FC tail must dominate the parameter count (it is
+    # what makes the optimizer isolate it into an unreplicated stage, §5.2),
+    # so ``fc_width`` is intentionally not scaled down with the conv body.
+    layers.append(("flatten", Flatten()))
+    layers.append(("fc6", Sequential(Linear(flat, fc_width, rng=rng), ReLU())))
+    layers.append(("fc7", Sequential(Linear(fc_width, fc_width, rng=rng), ReLU())))
+    layers.append(("fc8", Linear(fc_width, num_classes, rng=rng)))
+    return LayeredModel("vgg-small", layers)

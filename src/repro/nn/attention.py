@@ -1,0 +1,118 @@
+"""Attention and normalization layers (the §2.3 "attention layers" family).
+
+Multi-head self-attention, LayerNorm, and a pre-norm Transformer encoder
+block — built entirely from the existing autodiff primitives (batched
+matmul, softmax, reshape/transpose), so they are fully differentiable and
+partitionable like any other layer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.engine import Tensor
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Normalization over the last axis with learned scale and shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * ((var + self.eps) ** -0.5)
+        return normed * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.dim})"
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention over (N, T, D) inputs.
+
+    ``causal=True`` applies the autoregressive mask (position t attends
+    only to positions <= t), required for honest language modelling.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        causal: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        self.qkv = Linear(dim, 3 * dim, rng=rng)
+        self.proj = Linear(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, steps = x.shape[0], x.shape[1]
+        qkv = self.qkv(x)  # (N, T, 3D)
+        qkv = qkv.reshape(batch, steps, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, N, H, T, d)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        if self.causal:
+            mask = np.triu(np.full((steps, steps), -1e30), k=1)
+            scores = scores + Tensor(mask)
+        weights = F.softmax(scores, axis=-1)  # (N, H, T, T)
+        attended = weights @ v  # (N, H, T, d)
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, steps, self.dim)
+        return self.proj(merged)
+
+    def __repr__(self) -> str:
+        return f"MultiHeadSelfAttention(dim={self.dim}, heads={self.num_heads})"
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm Transformer block: x + MHSA(LN(x)); x + FFN(LN(x))."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ffn_dim: Optional[int] = None,
+        dropout: float = 0.0,
+        causal: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        ffn_dim = ffn_dim or 4 * dim
+        self.norm1 = LayerNorm(dim)
+        self.attention = MultiHeadSelfAttention(dim, num_heads, causal=causal, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.ffn_in = Linear(dim, ffn_dim, rng=rng)
+        self.ffn_out = Linear(ffn_dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        attended = self.attention(self.norm1(x))
+        if self.dropout is not None:
+            attended = self.dropout(attended)
+        x = x + attended
+        hidden = F.relu(self.ffn_in(self.norm2(x)))
+        out = self.ffn_out(hidden)
+        if self.dropout is not None:
+            out = self.dropout(out)
+        return x + out

@@ -1,0 +1,24 @@
+"""Parameter initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_uniform(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He-uniform initialisation suited to ReLU networks."""
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(shape, bound: float, rng: np.random.Generator) -> np.ndarray:
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(shape, std: float, rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape)

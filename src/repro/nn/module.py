@@ -1,0 +1,173 @@
+"""Module base class with parameter registration and state dicts."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff.engine import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is a trainable model parameter."""
+
+    def __init__(self, data, name: Optional[str] = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; they are discovered automatically for ``parameters()``,
+    ``state_dict()`` and friends.
+    """
+
+    def __init__(self):
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, key, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[key] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[key] = value
+        object.__setattr__(self, key, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Track non-trainable state (e.g. batch-norm running statistics)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            yield f"{prefix}{name}", getattr(self, name)
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    # ------------------------------------------------------------------
+    # Mode and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # ------------------------------------------------------------------
+    # Serialization — the substrate for weight stashing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Deep copies of all parameter and buffer arrays, keyed by path."""
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state[name] = np.copy(buf)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        buffers = {name: name for name, _ in self.named_buffers()}
+        for name, value in state.items():
+            if name in params:
+                if params[name].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: "
+                        f"{params[name].data.shape} vs {value.shape}"
+                    )
+                params[name].data = value.copy()
+            elif name in buffers:
+                self._assign_buffer(name, value.copy())
+            else:
+                raise KeyError(f"unexpected key in state dict: {name}")
+
+    def _assign_buffer(self, path: str, value: np.ndarray) -> None:
+        parts = path.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            module = module._modules[part]
+        module._buffers[parts[-1]] = value
+        object.__setattr__(module, parts[-1], value)
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def parameter_bytes(self) -> int:
+        return sum(p.nbytes for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"
+
+
+class Sequential(Module):
+    """A chain of modules applied in order; indexable and sliceable."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: List[str] = []
+        for i, module in enumerate(modules):
+            name = str(i)
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def forward(self, x):
+        for name in self._order:
+            x = self._modules[name](x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Sequential(*list(self)[index])
+        return self._modules[self._order[index]]
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._order))
+        setattr(self, name, module)
+        self._order.append(name)
+        return self

@@ -1,0 +1,87 @@
+"""Recurrent layers: LSTM cell and full-sequence LSTM.
+
+The sequence LSTM consumes (N, T, D) batch-first inputs and returns the full
+hidden-state sequence (N, T, H), which makes a stack of LSTM layers directly
+partitionable into pipeline stages, as PipeDream does for GNMT and AWD-LM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.engine import Tensor, stack
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class LSTMCell(Module):
+    """Single LSTM step with fused gate weights.
+
+    Gate layout along the 4H axis is [input, forget, cell, output].
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        bound = 1.0 / np.sqrt(hidden_size)
+        self.weight_ih = Parameter(init.uniform((4 * hidden_size, input_size), bound, rng))
+        self.weight_hh = Parameter(init.uniform((4 * hidden_size, hidden_size), bound, rng))
+        self.bias = Parameter(np.zeros(4 * hidden_size))
+
+    def forward(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        h, c = state
+        gates = F.linear(x, self.weight_ih) + F.linear(h, self.weight_hh) + self.bias
+        hs = self.hidden_size
+        i = F.sigmoid(gates[:, 0 * hs : 1 * hs])
+        f = F.sigmoid(gates[:, 1 * hs : 2 * hs])
+        g = F.tanh(gates[:, 2 * hs : 3 * hs])
+        o = F.sigmoid(gates[:, 3 * hs : 4 * hs])
+        c_next = f * c + i * g
+        h_next = o * F.tanh(c_next)
+        return h_next, (h_next, c_next)
+
+    def initial_state(self, batch: int, dtype=np.float64) -> Tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, self.hidden_size), dtype=dtype)
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+    def __repr__(self) -> str:
+        return f"LSTMCell({self.input_size}, {self.hidden_size})"
+
+
+class LSTM(Module):
+    """Single-layer sequence LSTM (batch-first)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, steps = x.shape[0], x.shape[1]
+        state = self.cell.initial_state(batch, dtype=x.dtype)
+        outputs = []
+        for t in range(steps):
+            out, state = self.cell(x[:, t, :], state)
+            outputs.append(out)
+        return stack(outputs, axis=1)
+
+    def __repr__(self) -> str:
+        return f"LSTM({self.input_size}, {self.hidden_size})"

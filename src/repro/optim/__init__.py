@@ -1,0 +1,9 @@
+"""Optimizers and learning-rate schedulers."""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.lars import LARS
+from repro.optim.lr_scheduler import LRScheduler, StepLR, WarmupLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "LARS", "LRScheduler", "StepLR", "WarmupLR"]

@@ -1,0 +1,49 @@
+"""Layer-wise Adaptive Rate Scaling (You et al., 2017).
+
+The paper's Figure 13 compares PipeDream against large-minibatch data
+parallelism trained with LARS; this implementation provides that baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class LARS(Optimizer):
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        trust_coefficient: float = 0.001,
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.trust_coefficient = trust_coefficient
+        self.eps = eps
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        weight_norm = np.linalg.norm(param.data)
+        grad_norm = np.linalg.norm(grad)
+        if weight_norm > 0 and grad_norm > 0:
+            local_lr = self.trust_coefficient * weight_norm / (grad_norm + self.eps)
+        else:
+            local_lr = 1.0
+        scaled = self.lr * local_lr * grad
+        if self.momentum:
+            v = self._velocity.get(index)
+            v = self.momentum * v + scaled if v is not None else scaled.copy()
+            self._velocity[index] = v
+            scaled = v
+        param.data = param.data - scaled

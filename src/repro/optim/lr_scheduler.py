@@ -1,0 +1,47 @@
+"""Learning-rate schedules used by the paper's training methodology (§5.1)."""
+
+from __future__ import annotations
+
+from repro.optim.optimizer import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler: call :meth:`step` once per epoch (or iteration)."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+    def get_lr(self) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class WarmupLR(LRScheduler):
+    """Linear warm-up to the base rate, as used for large global batches."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int):
+        super().__init__(optimizer)
+        self.warmup_epochs = warmup_epochs
+        optimizer.lr = self.base_lr / max(warmup_epochs, 1)
+
+    def get_lr(self) -> float:
+        if self.epoch >= self.warmup_epochs:
+            return self.base_lr
+        return self.base_lr * (self.epoch + 1) / self.warmup_epochs

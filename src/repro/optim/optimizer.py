@@ -1,0 +1,50 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list.
+
+    Subclasses implement :meth:`_update` which receives a parameter and its
+    gradient; state is keyed by parameter index so it survives the in-place
+    ``data`` swaps that weight stashing performs.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer created with an empty parameter list")
+        self.lr = lr
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self, grads: Optional[List[np.ndarray]] = None) -> None:
+        """Apply one update.
+
+        If ``grads`` is given it overrides the parameters' own ``.grad``
+        fields — this is how the pipeline runtime applies stashed/averaged
+        gradients.
+        """
+        self._step_count += 1
+        for i, p in enumerate(self.params):
+            grad = grads[i] if grads is not None else p.grad
+            if grad is None:
+                continue
+            self._update(i, p, np.asarray(grad))
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+    @property
+    def step_count(self) -> int:
+        return self._step_count

@@ -1,0 +1,48 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        in_place: bool = False,
+    ):
+        """``in_place=True`` mutates parameter arrays instead of rebinding.
+
+        The pipeline runtime uses this to emulate *naive* pipelining
+        (§3.3's no-weight-stashing ablation): in-flight autodiff tapes hold
+        references to the parameter arrays used at forward time, so in-place
+        updates make stale backward passes see *newer* weights — exactly the
+        forward/backward version mismatch the paper describes.  The default
+        rebinding update leaves stashed tapes untouched (weight stashing).
+        """
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.in_place = in_place
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            v = self._velocity.get(index)
+            v = self.momentum * v + grad if v is not None else grad.copy()
+            self._velocity[index] = v
+            grad = v
+        if self.in_place:
+            np.subtract(param.data, self.lr * grad, out=param.data)
+        else:
+            param.data = param.data - self.lr * grad

@@ -1,0 +1,73 @@
+"""Forward-pass FLOP estimates per module type.
+
+FLOPs here are multiply-accumulate counts for a single sample; the backward
+pass is conventionally modelled as twice the forward cost, giving the
+canonical 1:2 forward:backward ratio the paper's figures use.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.module import Module, Sequential
+
+
+def flops_of(module: Module, in_shape: Tuple[int, ...], out_shape: Tuple[int, ...]) -> int:
+    """Estimate forward MACs for one invocation with the given shapes.
+
+    Shapes include the batch axis; results are normalized to batch size 1.
+    """
+    from repro.nn import attention as A
+    from repro.nn import layers as L
+    from repro.nn import rnn as R
+
+    batch = max(1, in_shape[0] if in_shape else 1)
+
+    if isinstance(module, A.TransformerEncoderLayer):
+        steps = in_shape[1] if len(in_shape) >= 2 else 1
+        dim = module.attention.dim
+        ffn = module.ffn_in.out_features
+        # qkv + proj projections, two T x T attention matmuls, FFN.
+        projections = 4 * dim * dim * steps
+        attention = 2 * steps * steps * dim
+        feed_forward = 2 * dim * ffn * steps
+        return projections + attention + feed_forward
+    if isinstance(module, A.MultiHeadSelfAttention):
+        steps = in_shape[1] if len(in_shape) >= 2 else 1
+        return 4 * module.dim * module.dim * steps + 2 * steps * steps * module.dim
+    if isinstance(module, A.LayerNorm):
+        return 4 * int(np.prod(out_shape[1:]))
+
+    if isinstance(module, L.Conv2d):
+        # out elements (excl. batch) x kernel volume
+        out_per_sample = int(np.prod(out_shape[1:]))
+        kernel_volume = module.in_channels * module.kernel_size ** 2
+        return out_per_sample * kernel_volume
+    if isinstance(module, L.Linear):
+        # Sequence inputs multiply by the time axis.
+        positions = int(np.prod(out_shape[1:-1])) if len(out_shape) > 2 else 1
+        return positions * module.in_features * module.out_features
+    if isinstance(module, R.LSTM):
+        steps = in_shape[1] if len(in_shape) >= 2 else 1
+        cell = module.cell
+        per_step = 4 * cell.hidden_size * (cell.input_size + cell.hidden_size)
+        return steps * per_step
+    if isinstance(module, R.LSTMCell):
+        return 4 * module.hidden_size * (module.input_size + module.hidden_size)
+    if isinstance(module, L.Embedding):
+        return int(np.prod(out_shape[1:]))  # a gather: ~1 op per output element
+    if isinstance(module, L.BatchNorm2d):
+        return 2 * int(np.prod(out_shape[1:]))
+    if isinstance(module, (L.MaxPool2d, L.AvgPool2d)):
+        return int(np.prod(out_shape[1:])) * module.kernel_size ** 2
+    if isinstance(module, L.GlobalAvgPool2d):
+        return int(np.prod(in_shape[1:]))
+    if isinstance(module, (L.ReLU, L.Tanh, L.Sigmoid, L.Dropout)):
+        return int(np.prod(out_shape[1:]))
+    if isinstance(module, Sequential):
+        # Without per-child shapes we approximate with the dominant cost:
+        # run the children's own estimate using the block's in/out shapes.
+        return sum(flops_of(child, in_shape, out_shape) for child in module)
+    return int(np.prod(out_shape[1:])) if len(out_shape) > 1 else 1

@@ -1,0 +1,47 @@
+"""Training runtimes: real (numpy) execution of each parallel strategy.
+
+All trainers run in one process with *logical* workers, but faithfully
+reproduce each strategy's **semantics**:
+
+- :class:`~repro.runtime.trainer.SequentialTrainer` — reference minibatch
+  SGD on one worker.
+- :class:`~repro.runtime.pipeline.PipelineTrainer` — PipeDream: static
+  1F1B-RR schedule, per-replica weight version stores, weight stashing /
+  vertical sync / naive policies (§3.3), deterministic round-robin routing,
+  and gradient synchronization across replicated stages.
+- :class:`~repro.runtime.dataparallel.BSPTrainer` /
+  :class:`~repro.runtime.dataparallel.ASPTrainer` — data parallelism with
+  synchronous gradient averaging or asynchronous stale updates (§2.1).
+- :class:`~repro.runtime.gpipe.GPipeTrainer` — microbatch pipelining with
+  per-batch flushes and optional activation recomputation (§2.2).
+"""
+
+from repro.runtime.trainer import (
+    SequentialTrainer,
+    TrainingHistory,
+    evaluate_accuracy,
+    evaluate_loss,
+    evaluate_perplexity,
+)
+from repro.runtime.pipeline import PipelineTrainer
+from repro.runtime.dataparallel import ASPTrainer, BSPTrainer
+from repro.runtime.gpipe import GPipeTrainer
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.loop import FitResult, fit
+from repro.runtime.threaded import ThreadedPipelineTrainer
+
+__all__ = [
+    "CheckpointManager",
+    "FitResult",
+    "fit",
+    "SequentialTrainer",
+    "PipelineTrainer",
+    "ThreadedPipelineTrainer",
+    "BSPTrainer",
+    "ASPTrainer",
+    "GPipeTrainer",
+    "TrainingHistory",
+    "evaluate_accuracy",
+    "evaluate_loss",
+    "evaluate_perplexity",
+]

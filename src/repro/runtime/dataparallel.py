@@ -1,0 +1,129 @@
+"""Data-parallel training runtimes: BSP (synchronous) and ASP (asynchronous).
+
+BSP implements the paper's DP baseline: every worker processes its own
+per-GPU minibatch, gradients are averaged (the all_reduce), and the same
+update is applied everywhere — semantically identical to single-worker SGD
+with the global minibatch.
+
+ASP implements the asynchronous baseline of §5.2: workers compute gradients
+against stale parameter snapshots and push updates to a parameter server
+without synchronization, trading statistical efficiency for zero
+communication stalls.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.base import LayeredModel
+from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+
+
+class BSPTrainer:
+    """Bulk-synchronous data parallelism over ``num_workers`` logical GPUs."""
+
+    def __init__(
+        self,
+        model: LayeredModel,
+        loss_fn,
+        optimizer_factory: Callable[[List], Optimizer],
+        num_workers: int,
+    ):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.model = model
+        self.loss_fn = loss_fn
+        self.num_workers = num_workers
+        self.optimizer = optimizer_factory(model.parameters())
+        self.named_params = list(model.named_parameters())
+
+    def train_step(self, shards: Sequence[Tuple[np.ndarray, np.ndarray]]) -> float:
+        """One synchronous iteration: a per-worker minibatch per shard.
+
+        Gradients are computed per shard against the same weights and
+        averaged, exactly like an all_reduce over replicas.
+        """
+        if len(shards) != self.num_workers:
+            raise ValueError(f"expected {self.num_workers} shards, got {len(shards)}")
+        accumulated: Dict[str, np.ndarray] = {}
+        total_loss = 0.0
+        for x, y in shards:
+            self.model.zero_grad()
+            loss = self.loss_fn(self.model(x), y)
+            total_loss += loss.item()
+            loss.backward()
+            for name, p in self.named_params:
+                grad = p.grad if p.grad is not None else np.zeros_like(p.data)
+                if name in accumulated:
+                    accumulated[name] = accumulated[name] + grad
+                else:
+                    accumulated[name] = grad.copy()
+        averaged = [accumulated[name] / self.num_workers for name, _ in self.named_params]
+        self.optimizer.step(averaged)
+        return total_loss / self.num_workers
+
+    def train_epoch(self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> float:
+        """Consume ``batches`` in groups of ``num_workers`` (weak scaling)."""
+        losses = []
+        group: List[Tuple[np.ndarray, np.ndarray]] = []
+        for batch in batches:
+            group.append(batch)
+            if len(group) == self.num_workers:
+                losses.append(self.train_step(group))
+                group = []
+        return float(np.mean(losses)) if losses else float("nan")
+
+
+class ASPTrainer:
+    """Asynchronous data parallelism with a central parameter server.
+
+    Workers hold stale snapshots: worker ``w`` computes its gradient against
+    the parameters it fetched after its *previous* push, so in steady state
+    every update is computed from weights ``num_workers - 1`` pushes old —
+    the staleness that destroys statistical efficiency in §5.2.
+    """
+
+    def __init__(
+        self,
+        model: LayeredModel,
+        loss_fn,
+        optimizer_factory: Callable[[List], Optimizer],
+        num_workers: int,
+    ):
+        self.model = model  # the parameter server's live weights
+        self.loss_fn = loss_fn
+        self.num_workers = num_workers
+        self.optimizer = optimizer_factory(model.parameters())
+        self.named_params = list(model.named_parameters())
+        # Per-worker stale replicas (share architecture, own weights).
+        self.worker_models = [copy.deepcopy(model) for _ in range(num_workers)]
+        self._step = 0
+
+    def _pull(self, worker: int) -> None:
+        self.worker_models[worker].load_state_dict(self.model.state_dict())
+
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One asynchronous worker step (workers proceed round-robin)."""
+        worker = self._step % self.num_workers
+        self._step += 1
+        replica = self.worker_models[worker]
+        replica.zero_grad()
+        loss = self.loss_fn(replica(x), y)
+        loss.backward()
+        grads = [
+            (p.grad if p.grad is not None else np.zeros_like(p.data))
+            for _, p in replica.named_parameters()
+        ]
+        # Push: apply the stale gradient to the server's live weights.
+        self.optimizer.step(grads)
+        # Pull: the worker picks up the fresh weights for its next batch.
+        self._pull(worker)
+        return loss.item()
+
+    def train_epoch(self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> float:
+        losses = [self.train_step(x, y) for x, y in batches]
+        return float(np.mean(losses)) if losses else float("nan")

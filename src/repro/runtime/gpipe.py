@@ -1,0 +1,99 @@
+"""GPipe-style training runtime (§2.2): microbatching with pipeline flushes.
+
+Each minibatch is split into ``num_microbatches`` microbatches; all forward
+passes run, then all backward passes, with gradients aggregated and applied
+once per minibatch — so every weight update sees the full batch and a single
+consistent weight version (semantically identical to sequential SGD on the
+whole minibatch).  Optional activation recomputation mirrors GPipe's
+memory/compute trade: forwards are re-run during the backward phase instead
+of stashing intermediate tapes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff.engine import Tensor, no_grad
+from repro.core.partition import Stage
+from repro.models.base import LayeredModel
+from repro.optim.optimizer import Optimizer
+
+
+class GPipeTrainer:
+    """Microbatch-pipelined training with per-batch flushes."""
+
+    def __init__(
+        self,
+        model: LayeredModel,
+        stages: Sequence[Stage],
+        loss_fn,
+        optimizer_factory: Callable[[List], Optimizer],
+        num_microbatches: int = 4,
+        recompute_activations: bool = False,
+    ):
+        if stages[0].start != 0 or stages[-1].stop != model.num_layers:
+            raise ValueError("stages must cover the whole model")
+        self.model = model
+        self.stages = list(stages)
+        self.loss_fn = loss_fn
+        self.num_microbatches = num_microbatches
+        self.recompute_activations = recompute_activations
+        self.optimizer = optimizer_factory(model.parameters())
+        self.named_params = list(model.named_parameters())
+
+    def _split(self, x: np.ndarray, y: np.ndarray) -> List[Tuple[np.ndarray, np.ndarray]]:
+        m = self.num_microbatches
+        n = len(x)
+        if n < m:
+            raise ValueError(f"minibatch of {n} cannot be split into {m} microbatches")
+        bounds = np.linspace(0, n, m + 1, dtype=int)
+        return [(x[a:b], y[a:b]) for a, b in zip(bounds[:-1], bounds[1:])]
+
+    def train_minibatch(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One flush cycle: forwards, backwards, aggregated update."""
+        micros = self._split(x, y)
+        accumulated: Dict[str, np.ndarray] = {}
+        stashed: List = []
+        total_loss = 0.0
+        total_samples = 0
+
+        # Forward phase for every microbatch (pipeline fill).
+        for mx, my in micros:
+            if self.recompute_activations:
+                with no_grad():
+                    out = self.model(mx)
+                stashed.append((mx, my))
+            else:
+                out = self.model(mx)
+                stashed.append((out, my))
+
+        # Backward phase (pipeline drain), reverse order as in Figure 3.
+        for item, my in reversed(list(zip([s[0] for s in stashed], [s[1] for s in stashed]))):
+            if self.recompute_activations:
+                out = self.model(item)  # re-run with tape
+            else:
+                out = item
+            self.model.zero_grad()
+            loss = self.loss_fn(out, my)
+            samples = len(my)
+            total_loss += loss.item() * samples
+            total_samples += samples
+            loss.backward()
+            for name, p in self.named_params:
+                grad = p.grad if p.grad is not None else np.zeros_like(p.data)
+                weight = samples
+                if name in accumulated:
+                    accumulated[name] = accumulated[name] + grad * weight
+                else:
+                    accumulated[name] = grad * weight
+
+        # Flush: apply the aggregated (sample-weighted mean) gradient once.
+        averaged = [accumulated[name] / total_samples for name, _ in self.named_params]
+        self.optimizer.step(averaged)
+        return total_loss / total_samples
+
+    def train_epoch(self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> float:
+        losses = [self.train_minibatch(x, y) for x, y in batches]
+        return float(np.mean(losses)) if losses else float("nan")

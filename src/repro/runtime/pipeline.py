@@ -1,0 +1,522 @@
+"""PipeDream's training runtime: 1F1B-RR execution with weight versioning.
+
+The trainer materializes each stage replica as an independent module copy
+with its own :class:`~repro.core.stashing.WeightStore` and optimizer, then
+executes the static 1F1B-RR schedule with logical workers (round-robin
+sweeps, one op per worker per sweep — a lockstep approximation of wall-clock
+interleaving).  Activation and gradient "messages" are numpy arrays handed
+between stages; minibatch routing follows the deterministic round-robin rule
+so a minibatch's forward and backward run on the same replica.
+
+Weight policies (§3.3):
+
+- ``"stashing"`` (default): the forward pass binds the stage parameters to
+  the latest committed version; the autodiff tape captures those arrays, so
+  the backward pass computes gradients with exactly the forward's weights.
+- ``"vertical_sync"``: minibatches are pinned to the weight version seen at
+  the input stage; downstream stages use their snapshot of that version.
+- ``"none"``: naive pipelining — parameters are updated *in place*, so
+  in-flight tapes observe newer weights during backward: the invalid
+  gradients of a naively pipelined system.
+
+Replicated stages synchronize gradients per round (one sweep of replicas),
+averaging across replicas and applying the same update everywhere, mirroring
+PyTorch DDP semantics over each stage (§4 "Stage Replication").
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff.engine import Tensor, no_grad
+from repro.comm import Network, ring_allreduce
+from repro.core.partition import Stage
+from repro.core.schedule import (
+    Op,
+    OpKind,
+    Schedule,
+    one_f_one_b_rr_schedule,
+)
+from repro.core.stashing import WeightStore
+from repro.models.base import LayeredModel
+from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+
+
+def _wrap_element(element, first_stage: bool):
+    """Wrap one payload element (see ``_StageReplica._wrap_input``)."""
+    if isinstance(element, Tensor):
+        return element
+    raw = np.asarray(element)
+    if np.issubdtype(raw.dtype, np.integer):
+        return raw
+    return Tensor(raw, requires_grad=not first_stage)
+
+
+def _element_data(element):
+    return element.data if isinstance(element, Tensor) else element
+
+
+def _payload_data(out):
+    """Raw arrays of a module output (tensor or tuple of tensors/arrays)."""
+    if isinstance(out, tuple):
+        return tuple(_element_data(o) for o in out)
+    return out.data
+
+
+def _payload_backward(out, grad) -> None:
+    """Backpropagate a (possibly tuple) output against matching grads.
+
+    Gradients accumulate across the per-element backward calls, exactly as
+    if one combined scalar had been differentiated.
+    """
+    if isinstance(out, tuple):
+        if not isinstance(grad, tuple) or len(grad) != len(out):
+            raise ValueError("gradient payload does not match output tuple")
+        for element, g in zip(out, grad):
+            if isinstance(element, Tensor) and element.requires_grad and g is not None:
+                element.backward(g)
+        return
+    out.backward(grad)
+
+
+def _payload_input_grad(inp):
+    """Input-gradient payload mirroring the input payload's structure."""
+    if inp is None:
+        return None
+    if isinstance(inp, tuple):
+        return tuple(
+            (e.grad if isinstance(e, Tensor) and e.grad is not None else None)
+            for e in inp
+        )
+    return inp.grad if inp.grad is not None else None
+
+
+class _StageReplica:
+    """One worker's slice of the model, with versioned parameters."""
+
+    def __init__(
+        self,
+        stage_index: int,
+        replica_index: int,
+        module: Module,
+        policy: str,
+        optimizer_factory: Callable[[List], Optimizer],
+        recompute_activations: bool = False,
+    ):
+        self.stage_index = stage_index
+        self.replica_index = replica_index
+        self.module = module
+        self.policy = policy
+        self.recompute_activations = recompute_activations
+        self.named_params = list(module.named_parameters())
+        self.param_names = [name for name, _ in self.named_params]
+        self.optimizer = optimizer_factory(module.parameters())
+        if policy == "none":
+            if not isinstance(self.optimizer, SGD):
+                raise ValueError("the 'none' policy requires an SGD optimizer")
+            self.optimizer.in_place = True
+        self.store = WeightStore(
+            {name: p.data for name, p in self.named_params}, policy=policy
+        )
+        # In-flight state per minibatch.
+        self.contexts: Dict[int, Tuple[Optional[Tensor], Tensor]] = {}
+        self.forward_versions: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _bind_version(self, version) -> None:
+        for name, param in self.named_params:
+            param.data = version.state[name]
+
+    def forward(self, minibatch: int, x, first_stage: bool, pinned: Optional[int]):
+        if self.policy == "vertical_sync" and pinned is not None and not first_stage:
+            self.store.pin(minibatch, pinned)
+        version = self.store.weights_for_forward(minibatch)
+        if self.policy != "none":
+            self._bind_version(version)
+        self.forward_versions[minibatch] = version.version
+        inp, raw = self._wrap_input(x, first_stage)
+        if self.recompute_activations:
+            # GPipe-style memory saving (§3.3): run without a tape and keep
+            # only the raw input; the backward pass re-runs the forward
+            # with the *stashed* weight version to rebuild the tape.
+            with no_grad():
+                out = self.module(inp if inp is not None else raw)
+            self.contexts[minibatch] = (None, raw)
+        else:
+            out = self.module(inp if inp is not None else raw)
+            self.contexts[minibatch] = (inp if not first_stage else None, out)
+        return _payload_data(out), version.version
+
+    @staticmethod
+    def _wrap_input(x, first_stage: bool):
+        """Wrap a boundary payload for the module.
+
+        Payloads are a single array or a tuple of arrays (multi-tensor
+        stage boundaries, e.g. encoder outputs + decoder state).  Float
+        arrays become tensors that collect input gradients on non-input
+        stages; integer token ids stay raw.  Returns ``(wrapped, raw)``
+        where ``wrapped`` is what the module consumes (or None when nothing
+        needs gradients and ``raw`` should be passed directly).
+        """
+        if isinstance(x, tuple):
+            wrapped = tuple(
+                _wrap_element(element, first_stage) for element in x
+            )
+            return wrapped, tuple(_element_data(w) for w in wrapped)
+        if isinstance(x, Tensor):
+            return x, x
+        raw = np.asarray(x)
+        if np.issubdtype(raw.dtype, np.integer):
+            return None, raw  # token ids; no gradient flows back
+        return Tensor(raw, requires_grad=not first_stage), raw
+
+    def backward(self, minibatch: int, output_grad,
+                 loss_fn=None, target=None) -> Tuple[object, Dict[str, np.ndarray], float]:
+        """Run the stage backward; returns (input grad payload, param grads,
+        loss)."""
+        if self.policy != "none":
+            version = self.store.weights_for_backward(minibatch)
+        else:
+            version = None
+        inp, out = self.contexts.pop(minibatch)
+        if self.recompute_activations:
+            # Rebuild the tape with the exact weights the forward pass used
+            # (the stashed version), then backward through it.
+            if version is not None:
+                self._bind_version(version)
+            first_stage = self.stage_index == 0
+            tensor_in, raw_in = self._wrap_input(out, first_stage)  # out = stored raw input
+            out = self.module(tensor_in if tensor_in is not None else raw_in)
+            inp = None if first_stage else tensor_in
+        self.module.zero_grad()
+        loss_value = 0.0
+        if loss_fn is not None:
+            loss = loss_fn(out, target)
+            loss_value = loss.item()
+            loss.backward()
+        else:
+            _payload_backward(out, output_grad)
+        grads = {
+            name: (p.grad if p.grad is not None else np.zeros_like(p.data))
+            for name, p in self.named_params
+        }
+        return _payload_input_grad(inp), grads, loss_value
+
+    def apply_update(self, averaged: Dict[str, np.ndarray]) -> int:
+        """Apply an (averaged) gradient and commit a new weight version."""
+        if self.policy == "none":
+            self.optimizer.step([averaged[name] for name in self.param_names])
+            return 0
+        latest = self.store._latest
+        self._bind_version(latest)
+        self.optimizer.step([averaged[name] for name in self.param_names])
+        return self.store.commit({name: p.data for name, p in self.named_params})
+
+    @property
+    def latest_version(self) -> int:
+        return self.store.latest_version
+
+    def memory_bytes(self) -> int:
+        def nbytes(payload) -> int:
+            if payload is None:
+                return 0
+            if isinstance(payload, tuple):
+                return sum(nbytes(element) for element in payload)
+            return payload.nbytes
+
+        versions = self.store.memory_bytes()
+        activations = sum(
+            nbytes(ctx[1]) + nbytes(ctx[0]) for ctx in self.contexts.values()
+        )
+        return versions + activations
+
+
+@dataclass
+class PipelineStats:
+    """Diagnostics collected during pipelined training."""
+
+    mean_loss: float = 0.0
+    losses: List[float] = field(default_factory=list)
+    forward_versions: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    peak_memory_bytes: Dict[int, int] = field(default_factory=dict)
+    peak_live_versions: Dict[int, int] = field(default_factory=dict)
+
+
+class PipelineTrainer:
+    """Train a :class:`LayeredModel` with PipeDream semantics.
+
+    Args:
+        model: the layered model; stage modules are deep-copied per replica.
+        stages: contiguous stage partition (e.g. from the optimizer).
+        loss_fn: ``loss_fn(logits, targets) -> Tensor`` applied at the
+            output stage.
+        optimizer_factory: builds a fresh optimizer from a parameter list
+            for every stage replica.
+        policy: ``"stashing"`` | ``"vertical_sync"`` | ``"none"``.
+    """
+
+    def __init__(
+        self,
+        model: LayeredModel,
+        stages: Sequence[Stage],
+        loss_fn,
+        optimizer_factory: Callable[[List], Optimizer],
+        policy: str = "stashing",
+        recompute_activations: bool = False,
+        gradient_accumulation: int = 1,
+    ):
+        if stages[0].start != 0 or stages[-1].stop != model.num_layers:
+            raise ValueError("stages must cover the whole model")
+        if gradient_accumulation < 1:
+            raise ValueError("gradient_accumulation must be >= 1")
+        self.model = model
+        self.stages = list(stages)
+        self.loss_fn = loss_fn
+        self.policy = policy
+        self.gradient_accumulation = gradient_accumulation
+        self.replicas: Dict[int, List[_StageReplica]] = {}
+        for s, stage in enumerate(self.stages):
+            group = []
+            for q in range(stage.replicas):
+                module = copy.deepcopy(model.stage_module(stage.start, stage.stop))
+                group.append(_StageReplica(
+                    s, q, module, policy, optimizer_factory,
+                    recompute_activations=recompute_activations,
+                ))
+            self.replicas[s] = group
+        self.num_stages = len(self.stages)
+        self.stats = PipelineStats()
+        # Gradient aggregation (§3.3 memory reduction): accumulated round
+        # gradients per stage, applied every ``gradient_accumulation`` rounds.
+        self._pending_rounds: Dict[int, List[Dict[str, np.ndarray]]] = defaultdict(list)
+        # All inter-worker traffic (activations, gradients, all_reduce
+        # chunks) flows through one accounted network, so measured volumes
+        # can be checked against the Figure 17 model.
+        self.network = Network()
+        self._worker_of: Dict[Tuple[int, int], int] = {}
+        next_worker = 0
+        for s, stage in enumerate(self.stages):
+            for q in range(stage.replicas):
+                self._worker_of[(s, q)] = next_worker
+                next_worker += 1
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def two_buffered(cls, model, stages, loss_fn, optimizer_factory, **kwargs):
+        """PipeDream-2BW-style configuration (double-buffered weights).
+
+        The follow-up paper (PipeDream-2BW, ICML'21) bounds the number of
+        live weight versions to two by committing one aggregated update per
+        full sweep of in-flight minibatches instead of one per minibatch.
+        The same semantics fall out of this runtime by setting the gradient
+        aggregation window to the pipeline's warmup depth: every in-flight
+        minibatch then stashes one of at most two versions.
+        """
+        from repro.core.schedule import warmup_count
+
+        depth = warmup_count(list(stages), 0)
+        kwargs.setdefault("gradient_accumulation", max(1, depth))
+        return cls(model, stages, loss_fn, optimizer_factory, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def train_minibatches(self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> float:
+        """Run one 1F1B-RR schedule over ``batches``; returns mean loss."""
+        schedule = one_f_one_b_rr_schedule(self.stages, len(batches))
+        return self._execute(schedule, batches)
+
+    def train_epoch(self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> float:
+        return self.train_minibatches(list(batches))
+
+    def _execute(self, schedule: Schedule, batches) -> float:
+        stages = self.stages
+        last = self.num_stages - 1
+        worker_stage: Dict[int, Tuple[int, int]] = {}
+        for s, workers in schedule.stage_workers.items():
+            for q, w in enumerate(workers):
+                worker_stage[w] = (s, q)
+
+        done_f: set = set()
+        done_b: set = set()
+        pins: Dict[int, int] = {}
+        round_grads: Dict[Tuple[int, int], List[Dict[str, np.ndarray]]] = defaultdict(list)
+        pointers = {w: 0 for w in schedule.worker_ops}
+        losses: List[Optional[float]] = [None] * len(batches)
+
+        def ready(op: Op) -> bool:
+            if op.kind == OpKind.FORWARD:
+                return op.stage == 0 or (op.stage - 1, op.minibatch) in done_f
+            if op.kind == OpKind.BACKWARD:
+                if op.stage == last:
+                    return (op.stage, op.minibatch) in done_f
+                return (op.stage + 1, op.minibatch) in done_b
+            return True
+
+        def execute(worker: int, op: Op) -> None:
+            s, b = op.stage, op.minibatch
+            stage_idx, replica_idx = worker_stage[worker]
+            assert stage_idx == s
+            replica = self.replicas[s][replica_idx]
+            me = self._worker_of[(s, replica_idx)]
+            if op.kind == OpKind.FORWARD:
+                if s == 0:
+                    x = batches[b][0]
+                else:
+                    upstream = self._worker_of[(s - 1, b % stages[s - 1].replicas)]
+                    x = self.network.recv(upstream, me, ("act", s - 1, b))
+                out, version = replica.forward(
+                    b, x, first_stage=(s == 0), pinned=pins.get(b)
+                )
+                if s == 0 and self.policy == "vertical_sync":
+                    pins[b] = version
+                self.stats.forward_versions[(s, b)] = version
+                if s < last:
+                    downstream = self._worker_of[(s + 1, b % stages[s + 1].replicas)]
+                    self.network.send(me, downstream, ("act", s, b), out)
+                done_f.add((s, b))
+                self._track_memory(worker, replica)
+            elif op.kind == OpKind.BACKWARD:
+                if s == last:
+                    grad_in, grads, loss = replica.backward(
+                        b, None, loss_fn=self.loss_fn, target=batches[b][1]
+                    )
+                    losses[b] = loss
+                else:
+                    downstream = self._worker_of[(s + 1, b % stages[s + 1].replicas)]
+                    grad_out = self.network.recv(downstream, me, ("grad", s, b))
+                    grad_in, grads, _ = replica.backward(b, grad_out)
+                if s > 0:
+                    upstream = self._worker_of[(s - 1, b % stages[s - 1].replicas)]
+                    self.network.send(me, upstream, ("grad", s - 1, b), grad_in)
+                done_b.add((s, b))
+                round_grads[(s, b // stages[s].replicas)].append(grads)
+            else:  # UPDATE
+                self._maybe_apply_round(s, b, len(batches), round_grads)
+
+        remaining = sum(len(ops) for ops in schedule.worker_ops.values())
+        while remaining:
+            progressed = False
+            for worker in sorted(schedule.worker_ops):
+                idx = pointers[worker]
+                ops = schedule.worker_ops[worker]
+                if idx >= len(ops) or not ready(ops[idx]):
+                    continue
+                execute(worker, ops[idx])
+                pointers[worker] += 1
+                remaining -= 1
+                progressed = True
+            if not progressed:
+                raise RuntimeError("pipeline execution deadlocked")
+
+        recorded = [l for l in losses if l is not None]
+        mean = float(np.mean(recorded)) if recorded else math.nan
+        self.stats.losses.extend(recorded)
+        self.stats.mean_loss = mean
+        return mean
+
+    def _maybe_apply_round(
+        self,
+        stage: int,
+        minibatch: int,
+        num_minibatches: int,
+        round_grads: Dict[Tuple[int, int], List[Dict[str, np.ndarray]]],
+    ) -> None:
+        replicas = self.stages[stage].replicas
+        rnd = minibatch // replicas
+        members = max(1, min(replicas, num_minibatches - rnd * replicas))
+        grads_list = round_grads[(stage, rnd)]
+        if len(grads_list) < members:
+            return
+        if len(grads_list) == 1:
+            averaged = grads_list[0]
+        else:
+            # Real ring all_reduce across the stage's replicas, through the
+            # accounted network (each replica ships 2(m-1)/m of its grads).
+            reduced = ring_allreduce(grads_list, self.network, average=True)
+            averaged = reduced[0]
+        del round_grads[(stage, rnd)]
+        self._pending_rounds[stage].append(averaged)
+        is_last_round = (rnd + 1) * replicas >= num_minibatches
+        if len(self._pending_rounds[stage]) < self.gradient_accumulation and not is_last_round:
+            return  # aggregate more rounds before touching the weights
+        pending = self._pending_rounds.pop(stage)
+        if len(pending) > 1:
+            averaged = {
+                name: sum(g[name] for g in pending) / len(pending)
+                for name in pending[0]
+            }
+        else:
+            averaged = pending[0]
+        for replica in self.replicas[stage]:
+            replica.apply_update(averaged)
+
+    def _track_memory(self, worker: int, replica: _StageReplica) -> None:
+        current = replica.memory_bytes()
+        if current > self.stats.peak_memory_bytes.get(worker, 0):
+            self.stats.peak_memory_bytes[worker] = current
+        live = replica.store.num_live_versions
+        if live > self.stats.peak_live_versions.get(worker, 0):
+            self.stats.peak_live_versions[worker] = live
+
+    # ------------------------------------------------------------------
+    # Consolidation back into the source model
+    # ------------------------------------------------------------------
+    def consolidated_model(self) -> LayeredModel:
+        """Write replica-0 weights of every stage back into ``self.model``."""
+        for s, stage in enumerate(self.stages):
+            source = self.replicas[s][0].module
+            target = self.model.stage_module(stage.start, stage.stop)
+            target.load_state_dict(source.state_dict())
+        return self.model
+
+    def stage_versions(self) -> List[int]:
+        return [self.replicas[s][0].latest_version for s in range(self.num_stages)]
+
+    # ------------------------------------------------------------------
+    # Checkpointing (§4): each stage dumps its parameters locally; restart
+    # resumes from the newest epoch every stage completed.
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, manager, epoch: int) -> None:
+        """Write every stage replica's latest weights for ``epoch``."""
+        for s in range(self.num_stages):
+            for q, replica in enumerate(self.replicas[s]):
+                manager.save_stage(s, q, epoch, replica.store._latest.state
+                                   if replica.policy != "none"
+                                   else {n: p.data for n, p in replica.named_params})
+        manager.mark_epoch_complete(
+            epoch, self.num_stages, [st.replicas for st in self.stages]
+        )
+
+    def restore_checkpoint(self, manager) -> Optional[int]:
+        """Load the newest epoch all stages checkpointed; returns it.
+
+        Returns ``None`` (and leaves weights untouched) when no complete
+        checkpoint exists.  Version stores restart from version 0 of the
+        restored weights, exactly as a restarted process would.
+        """
+        replicas_per_stage = [st.replicas for st in self.stages]
+        epoch = manager.latest_complete_epoch(self.num_stages, replicas_per_stage)
+        if epoch is None:
+            return None
+        for s in range(self.num_stages):
+            for q, replica in enumerate(self.replicas[s]):
+                state = manager.load_stage(s, q, epoch)
+                for name, param in replica.named_params:
+                    param.data = state[name].copy()
+                replica.store = WeightStore(
+                    {name: p.data for name, p in replica.named_params},
+                    policy=replica.policy,
+                )
+                replica.contexts.clear()
+        return epoch

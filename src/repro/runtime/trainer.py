@@ -1,0 +1,117 @@
+"""Reference sequential trainer, evaluation helpers, and history records."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.engine import Tensor, no_grad
+from repro.models.base import LayeredModel
+from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training record, comparable across strategies."""
+
+    strategy: str
+    epochs: List[int] = field(default_factory=list)
+    train_loss: List[float] = field(default_factory=list)
+    eval_metric: List[float] = field(default_factory=list)
+    wall_time: List[float] = field(default_factory=list)
+
+    def record(self, epoch: int, loss: float, metric: float, elapsed: float) -> None:
+        self.epochs.append(epoch)
+        self.train_loss.append(loss)
+        self.eval_metric.append(metric)
+        self.wall_time.append(elapsed)
+
+    def epochs_to_reach(self, target_metric: float, higher_is_better: bool = True) -> Optional[int]:
+        """First epoch whose eval metric reaches the target, or None."""
+        for epoch, metric in zip(self.epochs, self.eval_metric):
+            if (metric >= target_metric) if higher_is_better else (metric <= target_metric):
+                return epoch
+        return None
+
+    @property
+    def final_metric(self) -> float:
+        return self.eval_metric[-1] if self.eval_metric else math.nan
+
+
+def _num_samples(inputs) -> int:
+    """Sample count of a batch, which may be a tuple of aligned arrays."""
+    return len(inputs[0]) if isinstance(inputs, tuple) else len(inputs)
+
+
+def _slice_samples(inputs, start: int, stop: int):
+    if isinstance(inputs, tuple):
+        return tuple(element[start:stop] for element in inputs)
+    return inputs[start:stop]
+
+
+def evaluate_loss(model: Module, loss_fn, inputs, targets, batch_size: int = 64) -> float:
+    total, count = 0.0, 0
+    with no_grad():
+        for start in range(0, _num_samples(inputs), batch_size):
+            x = _slice_samples(inputs, start, start + batch_size)
+            y = targets[start : start + batch_size]
+            loss = loss_fn(model(x), y)
+            total += loss.item() * len(y)
+            count += len(y)
+    return total / max(count, 1)
+
+
+def evaluate_accuracy(model: Module, inputs, targets, batch_size: int = 64) -> float:
+    """Top-1 accuracy; for sequence outputs, per-token accuracy."""
+    correct, count = 0, 0
+    with no_grad():
+        for start in range(0, _num_samples(inputs), batch_size):
+            x = _slice_samples(inputs, start, start + batch_size)
+            y = np.asarray(targets[start : start + batch_size])
+            logits = model(x)
+            pred = logits.data.argmax(axis=-1)
+            correct += int((pred == y).sum())
+            count += y.size
+    return correct / max(count, 1)
+
+
+def evaluate_perplexity(model: Module, loss_fn, inputs, targets, batch_size: int = 64) -> float:
+    return float(np.exp(evaluate_loss(model, loss_fn, inputs, targets, batch_size)))
+
+
+class SequentialTrainer:
+    """Vanilla minibatch SGD on a single worker — the semantic reference.
+
+    Every other runtime is validated against this one: PipeDream with a
+    single stage, GPipe with one microbatch, and BSP with one worker must
+    produce numerically identical weight trajectories.
+    """
+
+    def __init__(
+        self,
+        model: LayeredModel,
+        loss_fn,
+        optimizer: Optimizer,
+    ):
+        self.model = model
+        self.loss_fn = loss_fn
+        self.optimizer = optimizer
+
+    def train_minibatch(self, x, y) -> float:
+        self.model.zero_grad()
+        loss = self.loss_fn(self.model(x), y)
+        loss.backward()
+        self.optimizer.step()
+        return loss.item()
+
+    def train_epoch(self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> float:
+        total = 0.0
+        for x, y in batches:
+            total += self.train_minibatch(x, y)
+        return total / max(len(batches), 1)

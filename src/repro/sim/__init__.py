@@ -1,0 +1,47 @@
+"""Discrete-event cluster simulator.
+
+Executes the static schedules of :mod:`repro.core.schedule` over a
+hierarchical :class:`~repro.core.topology.Topology` using a model's
+``(T_l, a_l, w_l)`` profile, modelling per-worker compute occupancy,
+point-to-point activation/gradient transfers on contended channels, and
+ring all_reduce weight synchronization — the substitute for the paper's
+physical GPU clusters (DESIGN.md §2).
+"""
+
+from repro.sim.network import Placement, allreduce_time, transfer_time
+from repro.sim.executor import SimOptions, SimResult, OpRecord, simulate
+from repro.sim.memory import pipeline_memory_footprint, data_parallel_memory_footprint
+from repro.sim.trace import chrome_trace_events, export_chrome_trace
+from repro.sim.sweep import SweepRecord, records_to_csv, run_sweep, speedup_table
+from repro.sim.strategies import (
+    StrategyResult,
+    simulate_data_parallel,
+    simulate_gpipe,
+    simulate_model_parallel,
+    simulate_pipedream,
+    simulate_partition,
+)
+
+__all__ = [
+    "Placement",
+    "allreduce_time",
+    "transfer_time",
+    "SimOptions",
+    "SimResult",
+    "OpRecord",
+    "simulate",
+    "pipeline_memory_footprint",
+    "data_parallel_memory_footprint",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "SweepRecord",
+    "run_sweep",
+    "records_to_csv",
+    "speedup_table",
+    "StrategyResult",
+    "simulate_data_parallel",
+    "simulate_model_parallel",
+    "simulate_gpipe",
+    "simulate_pipedream",
+    "simulate_partition",
+]

@@ -1,0 +1,382 @@
+"""Event-driven execution of a static schedule on a simulated cluster.
+
+The executor walks every worker's op list in order, assigning each op the
+earliest start compatible with (a) the worker being free, (b) its data
+dependencies having *arrived* over the (contended, FIFO) point-to-point
+channels, and (c) the weight-synchronization semantics of the strategy
+being simulated:
+
+- ``"pipedream"`` — updates are asynchronous: the stage's all_reduce (for
+  replicated stages) occupies a per-stage sync resource but does not block
+  the worker; a worker may run at most two rounds ahead of its stage's
+  committed updates (a bounded-staleness buffer), which is what turns a
+  sync bottleneck into the ``max(compute, comm)/m`` throughput of §3.1.
+- ``"bsp"`` — wait-free backpropagation: the all_reduce overlaps the
+  backward pass that produces it, and the *next forward* blocks until the
+  round's update commits (data parallelism, §2.1).
+- ``"gpipe"`` — pipeline flush: forwards of batch ``k+1`` wait for batch
+  ``k``'s update; optional activation recomputation inflates backwards.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.partition import RECURRENT_KINDS, Stage, allreduce_bytes_per_worker
+from repro.core.profile import ModelProfile
+from repro.core.schedule import Op, OpKind, Schedule
+from repro.core.topology import Topology
+from repro.sim.network import Placement, allreduce_time
+
+
+@dataclass
+class SimOptions:
+    """Execution semantics knobs (see module docstring)."""
+
+    sync_mode: str = "pipedream"  # "pipedream" | "bsp" | "gpipe"
+    recompute_activations: bool = False  # GPipe's memory/compute trade
+    microbatches_per_batch: int = 1  # for gpipe round bookkeeping
+    worker_speed: Optional[Dict[int, float]] = None  # straggler modelling
+    #: When True, every worker has one half-duplex NIC per direction:
+    #: concurrent transfers sharing a source (or a destination) serialize
+    #: instead of using independent per-pair channels.  Models shared PCIe
+    #: and single-port Ethernet more faithfully; off by default so the
+    #: calibrated Figure 1 shapes stay put.
+    nic_contention: bool = False
+
+    def __post_init__(self):
+        if self.sync_mode not in ("pipedream", "bsp", "gpipe"):
+            raise ValueError(f"unknown sync mode {self.sync_mode!r}")
+        if self.worker_speed is not None:
+            for worker, speed in self.worker_speed.items():
+                if speed <= 0:
+                    raise ValueError(f"worker {worker} speed must be positive")
+
+    def speed_of(self, worker: int) -> float:
+        if self.worker_speed is None:
+            return 1.0
+        return self.worker_speed.get(worker, 1.0)
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    worker: int
+    op: Op
+    start: float
+    end: float
+
+
+@dataclass
+class SimResult:
+    """Timeline and summary statistics of one simulated run."""
+
+    records: List[OpRecord]
+    total_time: float
+    num_minibatches: int
+    num_workers: int
+    compute_time_per_worker: Dict[int, float]
+    channel_busy: Dict[Tuple[int, int], float]
+    sync_busy: Dict[int, float]
+    minibatch_done: Dict[int, float]
+
+    @property
+    def throughput(self) -> float:
+        """Minibatches per second over the whole run (startup included)."""
+        return self.num_minibatches / self.total_time if self.total_time else math.inf
+
+    @property
+    def steady_state_throughput(self) -> float:
+        """Minibatches/second over the second half (startup excluded)."""
+        done = [self.minibatch_done[b] for b in sorted(self.minibatch_done)]
+        if len(done) < 4:
+            return self.throughput
+        half = len(done) // 2
+        span = done[-1] - done[half - 1]
+        if span <= 0:
+            return math.inf
+        return (len(done) - half) / span
+
+    @property
+    def average_utilization(self) -> float:
+        """Mean fraction of time workers spend computing."""
+        if self.total_time <= 0:
+            return 1.0
+        fractions = [
+            busy / self.total_time for busy in self.compute_time_per_worker.values()
+        ]
+        return sum(fractions) / len(fractions)
+
+    @property
+    def communication_overhead(self) -> float:
+        """Fraction of worker time lost to stalls (Figure 1's metric)."""
+        return 1.0 - self.average_utilization
+
+    def worker_timeline(self, worker: int) -> List[OpRecord]:
+        return [r for r in self.records if r.worker == worker]
+
+
+def stage_compute_times(
+    profile: ModelProfile, stages: Sequence[Stage], compute_scale: float = 1.0
+) -> Tuple[List[float], List[float]]:
+    """Per-stage forward and backward durations for one minibatch."""
+    fwd, bwd = [], []
+    for stage in stages:
+        f = sum(layer.forward for layer in profile.layers[stage.start : stage.stop])
+        total = profile.compute_time(stage.start, stage.stop)
+        fwd.append(f / compute_scale)
+        bwd.append((total - f) / compute_scale)
+    return fwd, bwd
+
+
+def simulate(
+    schedule: Schedule,
+    profile: ModelProfile,
+    topology: Topology,
+    options: Optional[SimOptions] = None,
+) -> SimResult:
+    """Execute ``schedule`` with the cluster's cost model; see module doc."""
+    options = options or SimOptions()
+    stages = schedule.stages
+    placement = Placement(topology)
+    fwd_time, bwd_time = stage_compute_times(profile, stages, topology.compute_scale)
+    if options.recompute_activations:
+        bwd_time = [b + f for f, b in zip(fwd_time, bwd_time)]
+
+    boundary_bytes = [
+        profile.activation_bytes(stage.stop - 1) for stage in stages[:-1]
+    ]
+    stage_weight_bytes = [
+        profile.weight_bytes(stage.start, stage.stop) for stage in stages
+    ]
+    last_stage = len(stages) - 1
+
+    # All_reduce duration per stage round (zero when unreplicated).  For
+    # wait-free backprop the paper's overlap only applies to gradients that
+    # are complete *during* the backward pass: conv/fc weight gradients
+    # finish when their layer's backward runs, but BPTT-accumulated kinds
+    # (LSTM, embedding) keep accumulating until the backward pass ends and
+    # therefore cannot be overlapped — the reason DP fares poorly on the
+    # paper's translation and language-modelling workloads.
+    sync_duration: List[float] = []
+    sync_stream: List[float] = []
+    sync_deferred: List[float] = []
+    for s, stage in enumerate(stages):
+        workers = schedule.stage_workers[s]
+        stream_bytes = sum(
+            l.weight_bytes
+            for l in profile.layers[stage.start : stage.stop]
+            if l.kind not in RECURRENT_KINDS
+        )
+        deferred_bytes = stage_weight_bytes[s] - stream_bytes
+        sync_stream.append(allreduce_time(placement, workers, stream_bytes))
+        sync_deferred.append(allreduce_time(placement, workers, deferred_bytes))
+        sync_duration.append(sync_stream[-1] + sync_deferred[-1])
+
+    # ------------------------------------------------------------------
+    # Simulation state
+    # ------------------------------------------------------------------
+    pointers = {w: 0 for w in schedule.worker_ops}
+    worker_free = {w: 0.0 for w in schedule.worker_ops}
+    channel_free: Dict[Tuple[int, int], float] = defaultdict(float)
+    channel_busy: Dict[Tuple[int, int], float] = defaultdict(float)
+    nic_send_free: Dict[int, float] = defaultdict(float)
+    nic_recv_free: Dict[int, float] = defaultdict(float)
+    sync_free = [0.0] * len(stages)
+    sync_busy: Dict[int, float] = defaultdict(float)
+
+    arrivals_f: Dict[Tuple[int, int], float] = {}
+    arrivals_b: Dict[Tuple[int, int], float] = {}
+    op_end: Dict[Tuple[OpKind, int, int], float] = {}
+    op_start: Dict[Tuple[OpKind, int, int], float] = {}
+    update_done: Dict[Tuple[int, int], float] = {}
+    round_backwards: Dict[Tuple[int, int], List[Tuple[float, float]]] = defaultdict(list)
+    minibatch_done: Dict[int, float] = {}
+    records: List[OpRecord] = []
+    compute_time_per_worker: Dict[int, float] = defaultdict(float)
+
+    def round_of(stage_index: int, minibatch: int) -> int:
+        """Synchronization round a minibatch's update belongs to.
+
+        BSP: every worker processes (its shard of) every minibatch, so each
+        minibatch is one collective round.  GPipe: one round per batch of
+        microbatches.  PipeDream: replicas round-robin over minibatches, so
+        a round is one sweep across the stage's replicas.
+        """
+        if options.sync_mode == "bsp":
+            return minibatch
+        if options.sync_mode == "gpipe":
+            return minibatch // max(1, options.microbatches_per_batch)
+        return minibatch // stages[stage_index].replicas
+
+    def round_members(stage_index: int, rnd: int) -> int:
+        """How many UPDATE ops make up this round (tail rounds are short)."""
+        if options.sync_mode == "bsp":
+            return stages[stage_index].replicas
+        if options.sync_mode == "gpipe":
+            return 1  # the schedule emits one aggregated UPDATE per batch
+        per = stages[stage_index].replicas
+        return max(1, min(per, schedule.num_minibatches - rnd * per))
+
+    def ready_time(worker: int, op: Op) -> Optional[float]:
+        """Earliest start for ``op``, or None if a dependency is unresolved."""
+        t = worker_free[worker]
+        s, b = op.stage, op.minibatch
+        if op.kind == OpKind.FORWARD:
+            if s > 0:
+                arrival = arrivals_f.get((s, b))
+                if arrival is None:
+                    return None
+                t = max(t, arrival)
+            rnd = round_of(s, b)
+            if options.sync_mode == "bsp" and rnd > 0:
+                gate = update_done.get((s, rnd - 1))
+                if gate is None:
+                    return None
+                t = max(t, gate)
+            if options.sync_mode == "gpipe" and rnd > 0:
+                gate = update_done.get((s, rnd - 1))
+                if gate is None:
+                    return None
+                t = max(t, gate)
+            return t
+        if op.kind == OpKind.BACKWARD:
+            if s == last_stage:
+                end = op_end.get((OpKind.FORWARD, s, b))
+                if end is None:
+                    return None
+                t = max(t, end)
+            else:
+                arrival = arrivals_b.get((s, b))
+                if arrival is None:
+                    return None
+                t = max(t, arrival)
+            if options.sync_mode == "pipedream":
+                rnd = round_of(s, b)
+                if rnd >= 2 and stages[s].replicas > 1:
+                    gate = update_done.get((s, rnd - 2))
+                    if gate is None:
+                        return None
+                    t = max(t, gate)
+            return t
+        # UPDATE: runs right after its backward on the same worker.
+        return t
+
+    def execute(worker: int, op: Op, start: float) -> float:
+        s, b = op.stage, op.minibatch
+        speed = options.speed_of(worker)
+        if op.kind == OpKind.FORWARD:
+            end = start + fwd_time[s] / speed
+            op_end[(OpKind.FORWARD, s, b)] = end
+            op_start[(OpKind.FORWARD, s, b)] = start
+            compute_time_per_worker[worker] += fwd_time[s] / speed
+            if s < last_stage:
+                dst = schedule.replica_for(s + 1, b)
+                _send(worker, dst, boundary_bytes[s], end, arrivals_f, (s + 1, b))
+            worker_free[worker] = end
+        elif op.kind == OpKind.BACKWARD:
+            end = start + bwd_time[s] / speed
+            op_end[(OpKind.BACKWARD, s, b)] = end
+            op_start[(OpKind.BACKWARD, s, b)] = start
+            compute_time_per_worker[worker] += bwd_time[s] / speed
+            if s > 0:
+                dst = schedule.replica_for(s - 1, b)
+                _send(worker, dst, boundary_bytes[s - 1], end, arrivals_b, (s - 1, b))
+            else:
+                minibatch_done[b] = end
+            worker_free[worker] = end
+        else:  # UPDATE
+            end = _execute_update(worker, op, start)
+        records.append(OpRecord(worker, op, start, end))
+        return end
+
+    def _send(src: int, dst: int, num_bytes: float, ready: float,
+              arrivals: Dict, key: Tuple[int, int]) -> None:
+        if src == dst or num_bytes <= 0:
+            arrivals[key] = ready
+            return
+        bandwidth = placement.link_bandwidth(src, dst)
+        duration = num_bytes / bandwidth
+        begin = max(ready, channel_free[(src, dst)])
+        if options.nic_contention:
+            begin = max(begin, nic_send_free[src], nic_recv_free[dst])
+            nic_send_free[src] = begin + duration
+            nic_recv_free[dst] = begin + duration
+        channel_free[(src, dst)] = begin + duration
+        channel_busy[(src, dst)] += duration
+        arrivals[key] = begin + duration
+
+    def _execute_update(worker: int, op: Op, start: float) -> float:
+        s, b = op.stage, op.minibatch
+        rnd = round_of(s, b)
+        bwd_start = op_start.get((OpKind.BACKWARD, s, b), start)
+        round_backwards[(s, rnd)].append((bwd_start, start))
+        members = round_members(s, rnd)
+        if len(round_backwards[(s, rnd)]) < members:
+            # Not the last replica of the round: update commits later, the
+            # worker moves on (the round's completion is handled below).
+            worker_free[worker] = start
+            return start
+        starts = [x[0] for x in round_backwards[(s, rnd)]]
+        ends = [x[1] for x in round_backwards[(s, rnd)]]
+        duration = sync_duration[s]
+        if options.sync_mode == "bsp":
+            # Wait-free backprop: streamable gradients overlap the backward
+            # pass; BPTT-deferred gradients only start when it ends.
+            sync_start = max(max(starts), sync_free[s])
+            done = max(max(ends), sync_start + sync_stream[s]) + sync_deferred[s]
+        else:
+            sync_start = max(max(ends), sync_free[s])
+            done = sync_start + duration
+        sync_free[s] = done
+        sync_busy[s] += duration
+        update_done[(s, rnd)] = done
+        if options.sync_mode in ("bsp",):
+            # Blocking: every replica of the stage resumes after commit.
+            for w in schedule.stage_workers[s]:
+                worker_free[w] = max(worker_free[w], done)
+            return done
+        worker_free[worker] = start  # async commit; worker not blocked
+        return start if duration == 0 else done
+
+    # ------------------------------------------------------------------
+    # Main loop: repeatedly commit the globally earliest ready op.
+    # ------------------------------------------------------------------
+    total_ops = sum(len(ops) for ops in schedule.worker_ops.values())
+    committed = 0
+    while committed < total_ops:
+        best_worker = None
+        best_time = math.inf
+        for worker, ops in schedule.worker_ops.items():
+            idx = pointers[worker]
+            if idx >= len(ops):
+                continue
+            t = ready_time(worker, ops[idx])
+            if t is not None and t < best_time:
+                best_time = t
+                best_worker = worker
+        if best_worker is None:
+            stuck = {
+                w: schedule.worker_ops[w][pointers[w]]
+                for w in schedule.worker_ops
+                if pointers[w] < len(schedule.worker_ops[w])
+            }
+            raise RuntimeError(f"simulation deadlocked; blocked ops: {stuck}")
+        op = schedule.worker_ops[best_worker][pointers[best_worker]]
+        execute(best_worker, op, best_time)
+        pointers[best_worker] += 1
+        committed += 1
+
+    total_time = max((r.end for r in records), default=0.0)
+    return SimResult(
+        records=records,
+        total_time=total_time,
+        num_minibatches=schedule.num_minibatches,
+        num_workers=schedule.num_workers,
+        compute_time_per_worker=dict(compute_time_per_worker),
+        channel_busy=dict(channel_busy),
+        sync_busy=dict(sync_busy),
+        minibatch_done=minibatch_done,
+    )

@@ -1,0 +1,59 @@
+"""Per-worker memory accounting (§3.3 "Memory Overhead", Figures 16/18).
+
+PipeDream's per-stage footprint is governed by the number of in-flight
+minibatches a stage holds: each needs a stashed weight version and stashed
+activations.  The in-flight count at stage ``s`` is the stage's warmup
+depth — ``ceil(sum_{t>=s} r_t / r_s)`` — which equals NOAM at the input
+stage and 1 at the output stage.  Data parallelism holds exactly one weight
+version and one activation set for the whole model on every worker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.partition import Stage
+from repro.core.profile import ModelProfile
+from repro.core.schedule import warmup_count
+
+
+def stage_weight_bytes(profile: ModelProfile, stage: Stage) -> int:
+    return profile.weight_bytes(stage.start, stage.stop)
+
+
+def stage_activation_bytes(profile: ModelProfile, stage: Stage) -> int:
+    """Activation bytes a stage must stash per in-flight minibatch.
+
+    Every layer's output is live between forward and backward, so the stash
+    is the sum of the stage's layer outputs for one minibatch.
+    """
+    return sum(l.activation_bytes for l in profile.layers[stage.start : stage.stop])
+
+
+def pipeline_memory_footprint(
+    profile: ModelProfile,
+    stages: Sequence[Stage],
+    in_flight: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Peak bytes per worker for each pipeline stage.
+
+    ``in_flight`` overrides the per-stage in-flight minibatch count (used by
+    the Figure 18 pipeline-depth sweep); by default it is the stage's 1F1B
+    warmup depth.
+    """
+    footprints = []
+    for s, stage in enumerate(stages):
+        depth = in_flight[s] if in_flight is not None else warmup_count(stages, s)
+        weights = stage_weight_bytes(profile, stage)
+        activations = stage_activation_bytes(profile, stage)
+        # One live weight copy plus (depth - 1) extra stashed versions; one
+        # activation stash per in-flight minibatch.
+        footprints.append(weights * depth + activations * depth)
+    return footprints
+
+
+def data_parallel_memory_footprint(profile: ModelProfile) -> int:
+    """Per-worker bytes under DP: full weights + one activation set."""
+    weights = profile.total_weight_bytes
+    activations = sum(l.activation_bytes for l in profile.layers)
+    return weights + activations

@@ -1,0 +1,93 @@
+"""Network cost models: placement, point-to-point transfers, all_reduce.
+
+Workers are packed innermost-first onto the topology (fill a server before
+spilling to the next), mirroring how multi-GPU jobs are placed in the
+paper's clusters.  A transfer between two workers runs at the bandwidth of
+the outermost level at which their coordinates diverge; a ring all_reduce
+over a worker group pays ``2 (g_k - 1)/g_k * bytes / B_k`` at every level
+the group spans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.topology import Topology
+
+
+class Placement:
+    """Maps global worker ids to per-level component coordinates."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    def coordinates(self, worker: int) -> Tuple[int, ...]:
+        """Coordinate of ``worker`` at each level, innermost first."""
+        coords = []
+        remainder = worker
+        for level in self.topology.levels:
+            coords.append(remainder % level.count)
+            remainder //= level.count
+        return tuple(coords)
+
+    def link_bandwidth(self, src: int, dst: int) -> float:
+        """Bandwidth between two workers: the slowest level they cross."""
+        if src == dst:
+            return float("inf")
+        src_coords = self.coordinates(src)
+        dst_coords = self.coordinates(dst)
+        # The outermost level at which the *containing component* differs
+        # determines the link.  Component identity at level k is the
+        # coordinate tuple above level k.
+        crossing = 0
+        for k in reversed(range(self.topology.num_levels)):
+            if src_coords[k:] != dst_coords[k:]:
+                crossing = k
+                break
+        return self.topology.levels[crossing].bandwidth
+
+    def group_span(self, workers: Sequence[int]) -> List[int]:
+        """Number of distinct level-k components the group spans, per level.
+
+        Entry 0 is the number of distinct workers; entry k (k >= 1) counts
+        distinct level-k parents.
+        """
+        spans = []
+        coords = [self.coordinates(w) for w in workers]
+        for k in range(self.topology.num_levels):
+            parents = {c[k:] for c in coords}
+            spans.append(len(parents))
+        return spans
+
+
+def transfer_time(placement: Placement, src: int, dst: int, num_bytes: float) -> float:
+    """Serialized time to move ``num_bytes`` from ``src`` to ``dst``."""
+    if src == dst or num_bytes <= 0:
+        return 0.0
+    return num_bytes / placement.link_bandwidth(src, dst)
+
+
+def allreduce_time(placement: Placement, workers: Sequence[int], num_bytes: float) -> float:
+    """Hierarchical ring all_reduce of ``num_bytes`` across ``workers``.
+
+    At each level the group spans, every participant moves
+    ``2 (g - 1)/g * num_bytes`` over that level's links, where ``g`` is the
+    number of sibling components at that level; levels proceed sequentially
+    (reduce-scatter inward, all-gather outward), so the times add.  Each
+    level runs at its *all_reduce* bandwidth — the calibrated fraction of
+    line rate collectives actually achieve (see
+    :class:`~repro.core.topology.TopologyLevel`).
+    """
+    if len(workers) <= 1 or num_bytes <= 0:
+        return 0.0
+    total = 0.0
+    spans = placement.group_span(workers)
+    previous_span = len(workers)
+    for k, level in enumerate(placement.topology.levels):
+        span_above = spans[k + 1] if k + 1 < len(spans) else 1
+        # Ring size at this level = participants per parent component.
+        group = max(1, round(previous_span / max(1, span_above)))
+        if group > 1:
+            total += 2.0 * (group - 1) / group * num_bytes / level.allreduce_bandwidth
+        previous_span = span_above
+    return total

@@ -1,0 +1,278 @@
+"""High-level simulation drivers for each training strategy.
+
+Each driver builds the appropriate schedule, runs the executor, and returns
+a :class:`StrategyResult` with the metrics the paper's figures report:
+steady-state throughput, communication overhead, per-sample communication
+volume, and per-worker memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.partition import (
+    PipeDreamOptimizer,
+    Stage,
+    communication_bytes_per_minibatch,
+    data_parallel_bytes_per_minibatch,
+)
+from repro.core.profile import ModelProfile
+from repro.core.schedule import (
+    data_parallel_schedule,
+    gpipe_schedule,
+    model_parallel_schedule,
+    one_f_one_b_rr_schedule,
+)
+from repro.core.topology import Topology
+from repro.sim.executor import SimOptions, SimResult, simulate
+from repro.sim.memory import data_parallel_memory_footprint, pipeline_memory_footprint
+
+
+@dataclass
+class StrategyResult:
+    """Metrics of one simulated training strategy."""
+
+    strategy: str
+    config: str
+    num_workers: int
+    throughput: float  # steady-state minibatches/second (per pipeline)
+    epoch_time: float  # seconds to process the given minibatch count
+    communication_overhead: float  # fraction of worker time stalled
+    bytes_per_sample: float  # total communicated bytes / global samples
+    memory_per_worker: List[int]
+    sim: SimResult
+    samples_per_minibatch: int = 0  # global samples each minibatch tick covers
+
+    @property
+    def samples_per_second(self) -> float:
+        """Global training throughput in samples/second."""
+        return self.throughput * self.samples_per_minibatch
+
+
+def _epoch_time(sim: SimResult) -> float:
+    return sim.total_time
+
+
+def simulate_data_parallel(
+    profile: ModelProfile,
+    topology: Topology,
+    num_minibatches: int = 16,
+) -> StrategyResult:
+    """BSP data parallelism with wait-free backprop (§2.1).
+
+    Weak scaling: every worker processes its own per-GPU minibatch, so the
+    simulated timeline of one worker's minibatch stream represents the
+    cluster processing ``workers x minibatch`` samples per round.
+    """
+    workers = topology.total_workers
+    schedule = data_parallel_schedule(workers, num_minibatches, num_layers=len(profile))
+    sim = simulate(schedule, profile, topology, SimOptions(sync_mode="bsp"))
+    # One simulated iteration = one minibatch per worker, so the run covers
+    # ``num_minibatches * workers`` actual minibatches.
+    samples = num_minibatches * profile.batch_size * workers
+    total_bytes = (
+        data_parallel_bytes_per_minibatch(profile, workers) * num_minibatches * workers
+    )
+    return StrategyResult(
+        strategy="dp",
+        config=str(workers),
+        num_workers=workers,
+        throughput=sim.steady_state_throughput,
+        epoch_time=_epoch_time(sim),
+        communication_overhead=sim.communication_overhead,
+        bytes_per_sample=total_bytes / samples,
+        memory_per_worker=[data_parallel_memory_footprint(profile)] * workers,
+        sim=sim,
+        samples_per_minibatch=workers * profile.batch_size,
+    )
+
+
+def simulate_model_parallel(
+    profile: ModelProfile,
+    topology: Topology,
+    stages: Optional[Sequence[Stage]] = None,
+    num_minibatches: int = 16,
+) -> StrategyResult:
+    """Vanilla model parallelism (Figure 2): no pipelining, one in flight."""
+    if stages is None:
+        stages = balanced_straight_stages(profile, topology.total_workers)
+    schedule = model_parallel_schedule(
+        len(stages), num_minibatches, layer_bounds=[(s.start, s.stop) for s in stages]
+    )
+    sim = simulate(schedule, profile, topology, SimOptions(sync_mode="pipedream"))
+    samples = num_minibatches * profile.batch_size
+    total_bytes = communication_bytes_per_minibatch(profile, list(stages)) * num_minibatches
+    return StrategyResult(
+        strategy="mp",
+        config="straight",
+        num_workers=topology.total_workers,
+        throughput=sim.steady_state_throughput,
+        epoch_time=_epoch_time(sim),
+        communication_overhead=sim.communication_overhead,
+        bytes_per_sample=total_bytes / samples,
+        memory_per_worker=pipeline_memory_footprint(profile, stages, in_flight=[1] * len(stages)),
+        sim=sim,
+        samples_per_minibatch=profile.batch_size,
+    )
+
+
+def simulate_gpipe(
+    profile: ModelProfile,
+    topology: Topology,
+    stages: Optional[Sequence[Stage]] = None,
+    num_batches: int = 8,
+    num_microbatches: int = 4,
+    recompute: bool = True,
+) -> StrategyResult:
+    """GPipe-style inter-batch pipelining with flushes (§2.2, Figure 3).
+
+    The minibatch is split into microbatches whose compute/communication
+    scale down proportionally; activation recomputation (GPipe's default)
+    adds a forward's worth of compute to every backward.
+    """
+    if stages is None:
+        stages = balanced_straight_stages(profile, topology.total_workers)
+    # A microbatch is 1/m of a minibatch: scale compute and activations.
+    micro_profile = _scale_batch(profile, 1.0 / num_microbatches)
+    schedule = gpipe_schedule(
+        len(stages),
+        num_batches,
+        num_microbatches,
+        layer_bounds=[(s.start, s.stop) for s in stages],
+    )
+    options = SimOptions(
+        sync_mode="gpipe",
+        recompute_activations=recompute,
+        microbatches_per_batch=num_microbatches,
+    )
+    sim = simulate(schedule, micro_profile, topology, options)
+    samples = num_batches * profile.batch_size
+    total_bytes = (
+        communication_bytes_per_minibatch(micro_profile, list(stages))
+        * num_batches
+        * num_microbatches
+    )
+    # Throughput in *minibatches* (not microbatches) per second.
+    throughput = sim.steady_state_throughput / num_microbatches
+    in_flight = [num_microbatches if not recompute else 1] * len(stages)
+    return StrategyResult(
+        strategy="gpipe",
+        config=f"straight-m{num_microbatches}",
+        num_workers=topology.total_workers,
+        throughput=throughput,
+        epoch_time=_epoch_time(sim),
+        communication_overhead=sim.communication_overhead,
+        bytes_per_sample=total_bytes / samples,
+        memory_per_worker=pipeline_memory_footprint(micro_profile, stages, in_flight=in_flight),
+        sim=sim,
+        samples_per_minibatch=profile.batch_size,
+    )
+
+
+def simulate_partition(
+    profile: ModelProfile,
+    topology: Topology,
+    stages: Sequence[Stage],
+    num_minibatches: int = 16,
+    noam: Optional[int] = None,
+    strategy_name: str = "pipedream",
+) -> StrategyResult:
+    """Simulate an explicit PipeDream partition with the 1F1B-RR schedule."""
+    stages = list(stages)
+    schedule = one_f_one_b_rr_schedule(stages, num_minibatches, noam=noam)
+    sim = simulate(schedule, profile, topology, SimOptions(sync_mode="pipedream"))
+    samples = num_minibatches * profile.batch_size
+    total_bytes = communication_bytes_per_minibatch(profile, stages) * num_minibatches
+    config = (
+        str(stages[0].replicas)
+        if len(stages) == 1
+        else ("straight" if all(s.replicas == 1 for s in stages)
+              else "-".join(str(s.replicas) for s in stages))
+    )
+    return StrategyResult(
+        strategy=strategy_name,
+        config=config,
+        num_workers=sum(s.replicas for s in stages),
+        throughput=sim.steady_state_throughput,
+        epoch_time=_epoch_time(sim),
+        communication_overhead=sim.communication_overhead,
+        bytes_per_sample=total_bytes / samples,
+        memory_per_worker=pipeline_memory_footprint(profile, stages),
+        sim=sim,
+        samples_per_minibatch=profile.batch_size,
+    )
+
+
+def simulate_pipedream(
+    profile: ModelProfile,
+    topology: Topology,
+    num_minibatches: int = 16,
+    allow_replication: bool = True,
+) -> StrategyResult:
+    """Run the optimizer, then simulate its chosen configuration.
+
+    When the optimizer picks vanilla data parallelism (ResNet-50's case in
+    Table 1), the DP simulation (BSP semantics) is used directly.
+    """
+    optimizer = PipeDreamOptimizer(profile, topology, allow_replication=allow_replication)
+    plan = optimizer.solve()
+    if plan.is_data_parallel:
+        result = simulate_data_parallel(profile, topology, num_minibatches)
+        return StrategyResult(
+            strategy="pipedream",
+            config=result.config,
+            num_workers=result.num_workers,
+            throughput=result.throughput,
+            epoch_time=result.epoch_time,
+            communication_overhead=result.communication_overhead,
+            bytes_per_sample=result.bytes_per_sample,
+            memory_per_worker=result.memory_per_worker,
+            sim=result.sim,
+            samples_per_minibatch=result.samples_per_minibatch,
+        )
+    return simulate_partition(profile, topology, plan.stages, num_minibatches, plan.noam)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+def balanced_straight_stages(profile: ModelProfile, num_workers: int) -> List[Stage]:
+    """Greedy compute-balanced straight partition (the baseline partitioner
+    used for model parallelism and GPipe, which does not ship one)."""
+    num_stages = min(num_workers, len(profile))
+    target = profile.total_compute_time / num_stages
+    stages: List[Stage] = []
+    start = 0
+    acc = 0.0
+    for i, layer in enumerate(profile.layers):
+        acc += layer.compute_time
+        remaining_layers = len(profile) - i - 1
+        remaining_stages = num_stages - len(stages) - 1
+        must_cut = remaining_layers == remaining_stages  # one layer per stage left
+        if (acc >= target or must_cut) and remaining_layers >= remaining_stages and remaining_stages > 0:
+            stages.append(Stage(start, i + 1, 1))
+            start = i + 1
+            acc = 0.0
+    stages.append(Stage(start, len(profile), 1))
+    return stages
+
+
+def _scale_batch(profile: ModelProfile, factor: float) -> ModelProfile:
+    """A profile for a fractional minibatch (microbatching)."""
+    from repro.core.profile import LayerProfile
+
+    layers = [
+        LayerProfile(
+            name=l.name,
+            compute_time=l.compute_time * factor,
+            activation_bytes=max(1, int(l.activation_bytes * factor)),
+            weight_bytes=l.weight_bytes,
+            forward_time=None if l.forward_time is None else l.forward_time * factor,
+            kind=l.kind,
+        )
+        for l in profile.layers
+    ]
+    batch = max(1, int(round(profile.batch_size * factor)))
+    return ModelProfile(profile.model_name, layers, batch, profile.bytes_per_element)

@@ -1,0 +1,128 @@
+"""Parameter sweeps over (model, cluster scale, strategy) grids.
+
+The evaluation section's figures are weak-scaling sweeps; this module
+factors that loop out of the benches into a reusable harness producing
+tidy records, with CSV export for downstream analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.topology import Topology
+from repro.profiler import analytic_profile
+from repro.sim.strategies import (
+    StrategyResult,
+    simulate_data_parallel,
+    simulate_gpipe,
+    simulate_model_parallel,
+    simulate_pipedream,
+)
+
+STRATEGIES: Dict[str, Callable] = {
+    "dp": lambda profile, topo, m: simulate_data_parallel(
+        profile, topo, num_minibatches=max(4, m // 4)),
+    "pipedream": lambda profile, topo, m: simulate_pipedream(
+        profile, topo, num_minibatches=m),
+    "mp": lambda profile, topo, m: simulate_model_parallel(
+        profile, topo, num_minibatches=max(4, m // 4)),
+    "gpipe": lambda profile, topo, m: simulate_gpipe(
+        profile, topo, num_batches=max(2, m // 8)),
+}
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (model, workers, strategy) measurement."""
+
+    model: str
+    cluster: str
+    workers: int
+    strategy: str
+    config: str
+    samples_per_second: float
+    communication_overhead: float
+    bytes_per_sample: float
+    peak_memory_gb: float
+
+
+def run_sweep(
+    models: Sequence[str],
+    topology: Topology,
+    worker_counts: Sequence[int],
+    strategies: Sequence[str] = ("dp", "pipedream"),
+    device: str = "v100",
+    minibatches: int = 48,
+) -> List[SweepRecord]:
+    """Simulate every combination; skips worker counts that don't pack."""
+    unknown = set(strategies) - set(STRATEGIES)
+    if unknown:
+        raise ValueError(f"unknown strategies: {sorted(unknown)}")
+    records: List[SweepRecord] = []
+    for model in models:
+        profile = analytic_profile(model, device=device)
+        for workers in worker_counts:
+            try:
+                sub = topology.subset(workers)
+            except ValueError:
+                continue
+            for strategy in strategies:
+                result: StrategyResult = STRATEGIES[strategy](
+                    profile, sub, minibatches)
+                records.append(SweepRecord(
+                    model=model,
+                    cluster=topology.name,
+                    workers=workers,
+                    strategy=strategy,
+                    config=result.config,
+                    samples_per_second=result.samples_per_second,
+                    communication_overhead=result.communication_overhead,
+                    bytes_per_sample=result.bytes_per_sample,
+                    peak_memory_gb=max(result.memory_per_worker) / 1e9,
+                ))
+    return records
+
+
+def records_to_csv(records: Iterable[SweepRecord],
+                   path: Optional[str] = None) -> str:
+    """Serialize records as CSV; writes to ``path`` when given."""
+    records = list(records)
+    if not records:
+        raise ValueError("no records to serialize")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(asdict(records[0])))
+    writer.writeheader()
+    for record in records:
+        writer.writerow(asdict(record))
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w") as f:
+            f.write(text)
+    return text
+
+
+def speedup_table(records: Sequence[SweepRecord],
+                  baseline: str = "dp") -> List[Dict]:
+    """Per (model, workers): every strategy's speedup over the baseline."""
+    by_key: Dict = {}
+    for record in records:
+        by_key.setdefault((record.model, record.workers), {})[record.strategy] = record
+    rows = []
+    for (model, workers), strategies in sorted(by_key.items()):
+        if baseline not in strategies:
+            continue
+        base = strategies[baseline].samples_per_second
+        for strategy, record in sorted(strategies.items()):
+            if strategy == baseline:
+                continue
+            rows.append({
+                "model": model,
+                "workers": workers,
+                "strategy": strategy,
+                "config": record.config,
+                "speedup": record.samples_per_second / base if base else float("inf"),
+            })
+    return rows

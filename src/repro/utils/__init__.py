@@ -1,0 +1,5 @@
+"""Shared utilities: report formatting and RNG control."""
+
+from repro.utils.reporting import format_table, format_timeline, speedup
+
+__all__ = ["format_table", "format_timeline", "speedup"]

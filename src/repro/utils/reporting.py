@@ -1,0 +1,60 @@
+"""Plain-text report helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.schedule import OpKind
+from repro.sim.executor import SimResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned ASCII table (the benches print paper-style rows)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def speedup(baseline: float, improved: float) -> str:
+    """'2.34x' style ratio of an epoch time over a faster one."""
+    if improved <= 0:
+        return "inf"
+    return f"{baseline / improved:.2f}x"
+
+
+def format_timeline(sim: SimResult, time_unit: float = 1.0, width: int = 78) -> str:
+    """ASCII Gantt chart of a simulated run (Figures 2/3/4/8 visuals).
+
+    Each worker is one row; forward slots print the minibatch id, backward
+    slots print the id bracketed (e.g. ``[3]``), idle time is ``.``.
+    """
+    if not sim.records:
+        return "(empty timeline)"
+    total = sim.total_time
+    scale = width / total if total > 0 else 1.0
+    workers = sorted({r.worker for r in sim.records})
+    rows = []
+    for w in workers:
+        row = ["."] * width
+        for record in sim.records:
+            if record.worker != w or record.op.kind == OpKind.UPDATE:
+                continue
+            start = int(record.start * scale)
+            end = max(start + 1, int(record.end * scale))
+            mark = str(record.op.minibatch % 10)
+            if record.op.kind == OpKind.BACKWARD:
+                mark = mark.upper() if mark.isalpha() else f"{mark}"
+                fill = ["B"] * (end - start)
+            else:
+                fill = ["F"] * (end - start)
+            for i in range(start, min(end, width)):
+                row[i] = fill[0] if i > start else mark
+        rows.append(f"worker {w}: " + "".join(row))
+    return "\n".join(rows)

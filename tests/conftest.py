@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import LayerProfile, ModelProfile
+from repro.core.topology import make_cluster
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def toy_profile():
+    """Conv-like front (small weights, big activations) + FC tail."""
+    layers = [
+        LayerProfile("conv1", 3.0, 1000, 100),
+        LayerProfile("conv2", 3.0, 800, 200),
+        LayerProfile("conv3", 3.0, 600, 300),
+        LayerProfile("fc1", 2.0, 100, 5000),
+        LayerProfile("fc2", 1.0, 50, 4000),
+    ]
+    return ModelProfile("toy", layers, batch_size=4)
+
+
+@pytest.fixture
+def flat4():
+    """4 workers, single level, 100 B/s links."""
+    return make_cluster("flat4", 4, 1, 100.0, 100.0)
+
+
+@pytest.fixture
+def two_level():
+    """2 servers x 2 GPUs: fast intra (100 B/s), slow inter (10 B/s)."""
+    return make_cluster("two-level", 2, 2, 100.0, 10.0)

@@ -1,0 +1,126 @@
+"""Tensor/tape engine behaviour: accumulation, reuse, no_grad, errors."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, no_grad
+from repro.autodiff.engine import unbroadcast
+
+
+class TestBackward:
+    def test_grad_accumulates_across_uses(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        out = (x * 2).sum() + (x * 3).sum()
+        out.backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 5.0))
+
+    def test_grad_accumulates_across_backward_calls(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 4.0))
+
+    def test_zero_grad(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        (x.sum()).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph(self, rng):
+        x = Tensor(rng.standard_normal(4), requires_grad=True)
+        a = x * 2
+        out = (a * a).sum()  # same intermediate used twice
+        out.backward()
+        np.testing.assert_allclose(x.grad, 8 * x.data)
+
+    def test_deep_chain(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(200):
+            y = y * 1.01
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.01 ** 200], rtol=1e-10)
+
+    def test_backward_on_nonscalar_requires_grad_arg(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        y = x * 2
+        with pytest.raises(RuntimeError):
+            y.backward()
+        y.backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, np.full(3, 2.0))
+
+    def test_backward_without_requires_grad_raises(self, rng):
+        x = Tensor(rng.standard_normal(3))
+        with pytest.raises(RuntimeError):
+            (x * 2).backward(np.ones(3))
+
+    def test_no_grad_blocks_tape(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._ctx is None
+
+    def test_no_grad_restores_state(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        with no_grad():
+            pass
+        assert (x * 2).requires_grad
+
+    def test_grad_not_propagated_to_constants(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        c = Tensor(rng.standard_normal(3))
+        (x * c).sum().backward()
+        assert c.grad is None
+
+
+class TestTensorBasics:
+    def test_detach_shares_data(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+        assert d.data is x.data
+
+    def test_copy_is_independent(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        c = x.copy()
+        c.data[0] = 99.0
+        assert x.data[0] != 99.0
+
+    def test_constructors(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert Tensor.ones(4).data.sum() == 4.0
+        assert Tensor.randn(2, 2, rng=np.random.default_rng(0)).shape == (2, 2)
+
+    def test_integer_tensor_allowed(self):
+        x = Tensor(np.array([1, 2, 3]))
+        assert x.dtype.kind == "i"
+
+    def test_item_and_len(self):
+        assert Tensor(np.array([3.5])).item() == 3.5
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_nbytes(self):
+        x = Tensor(np.zeros((2, 3), dtype=np.float64))
+        assert x.nbytes == 48
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor(np.zeros(2), requires_grad=True))
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_leading_axis(self):
+        g = np.ones((4, 2, 3))
+        np.testing.assert_array_equal(unbroadcast(g, (2, 3)), np.full((2, 3), 4.0))
+
+    def test_stretched_axis(self):
+        g = np.ones((2, 3))
+        np.testing.assert_array_equal(unbroadcast(g, (2, 1)), np.full((2, 1), 3.0))
+
+    def test_combination(self):
+        g = np.ones((5, 2, 3))
+        np.testing.assert_array_equal(unbroadcast(g, (1, 3)), np.full((1, 3), 10.0))

@@ -1,0 +1,75 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestModels:
+    def test_lists_all_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for model in ("vgg16", "resnet50", "gnmt8", "awd-lm", "s2vt"):
+            assert model in out
+
+
+class TestProfile:
+    def test_prints_layer_table(self, capsys):
+        assert main(["profile", "vgg16"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1_1" in out and "fc8" in out
+
+    def test_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "profile.json"
+        assert main(["profile", "gnmt8", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["model_name"] == "gnmt8"
+        assert len(data["layers"]) == 10
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "nope"])
+
+
+class TestPlan:
+    def test_prints_deployment(self, capsys):
+        assert main(["plan", "vgg16", "--cluster", "a", "--servers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "stage 0:" in out
+        assert "config: 15-1" in out
+
+    def test_writes_plan_json(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        assert main(["plan", "resnet50", "--cluster", "a", "--servers", "4",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["model_name"] == "resnet50"
+        assert sum(s["replicas"] for s in data["stages"]) == 16
+
+    def test_workers_subset(self, capsys):
+        assert main(["plan", "gnmt8", "--cluster", "a", "--servers", "1",
+                     "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 worker(s)" in out
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("strategy", ["pipedream", "dp", "mp", "gpipe"])
+    def test_strategies_run(self, capsys, strategy):
+        assert main(["simulate", "gnmt8", "--cluster", "a", "--servers", "1",
+                     "--strategy", strategy, "--minibatches", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "bytes/sample" in out
+
+
+class TestTimeline:
+    @pytest.mark.parametrize("schedule", ["1f1b", "gpipe", "mp"])
+    def test_timelines_render(self, capsys, schedule):
+        assert main(["timeline", "--stages", "3", "--minibatches", "6",
+                     "--schedule", schedule]) == 0
+        out = capsys.readouterr().out
+        assert "worker 0" in out
+        assert "utilization" in out

@@ -1,0 +1,160 @@
+"""Communication substrate: channels, ring all_reduce, runtime accounting."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Channel, Network, ring_allreduce, ring_allreduce_bytes
+from repro.core.partition import Stage, communication_bytes_per_minibatch
+from repro.data import make_classification_data
+from repro.models import build_mlp
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+from repro.runtime import PipelineTrainer
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        channel = Channel(0, 1)
+        channel.send(("a",), np.zeros(1))
+        channel.send(("b",), np.ones(1))
+        assert channel.recv()[0] == 0.0
+        assert channel.recv()[0] == 1.0
+
+    def test_tagged_out_of_order_recv(self):
+        channel = Channel(0, 1)
+        channel.send(("a",), np.zeros(1))
+        channel.send(("b",), np.ones(1))
+        assert channel.recv(("b",))[0] == 1.0
+        assert channel.recv(("a",))[0] == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(LookupError):
+            Channel(0, 1).recv()
+
+    def test_missing_tag_raises(self):
+        channel = Channel(0, 1)
+        channel.send(("a",), np.zeros(1))
+        with pytest.raises(LookupError):
+            channel.recv(("b",))
+
+    def test_byte_accounting(self):
+        channel = Channel(0, 1)
+        channel.send(("t",), np.zeros((2, 3)))  # float64: 48 bytes
+        channel.send(("t",), {"w": np.zeros(4), "b": np.zeros(1)})  # 40 bytes
+        assert channel.bytes_sent == 48 + 40
+        assert channel.messages_sent == 2
+
+    def test_none_payload_zero_bytes(self):
+        channel = Channel(0, 1)
+        channel.send(("t",), None)
+        assert channel.bytes_sent == 0
+
+
+class TestNetwork:
+    def test_channels_created_lazily(self):
+        network = Network()
+        network.send(0, 1, ("x",), np.zeros(2))
+        assert network.total_messages == 1
+        assert network.bytes_by_channel() == {(0, 1): 16}
+
+    def test_in_flight_leak_detection(self):
+        network = Network()
+        network.send(0, 1, ("x",), np.zeros(2))
+        assert network.in_flight() == 1
+        network.recv(0, 1)
+        assert network.in_flight() == 0
+
+
+class TestRingAllReduce:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 7])
+    def test_average_matches_mean(self, m, rng):
+        contributions = [
+            {"w": rng.standard_normal((3, 4)), "b": rng.standard_normal(5)}
+            for _ in range(m)
+        ]
+        results = ring_allreduce(contributions, average=True)
+        expect = {
+            name: np.mean([c[name] for c in contributions], axis=0)
+            for name in ("w", "b")
+        }
+        for result in results:
+            for name in expect:
+                np.testing.assert_allclose(result[name], expect[name], atol=1e-12)
+
+    def test_sum_mode(self, rng):
+        contributions = [{"w": np.ones(4)} for _ in range(3)]
+        results = ring_allreduce(contributions, average=False)
+        np.testing.assert_allclose(results[0]["w"], np.full(4, 3.0))
+
+    def test_bytes_match_closed_form(self, rng):
+        for m in (2, 3, 5):
+            contributions = [{"w": rng.standard_normal(17)} for _ in range(m)]
+            network = Network()
+            ring_allreduce(contributions, network)
+            assert network.total_bytes == ring_allreduce_bytes(17, m)
+            assert network.in_flight() == 0
+
+    def test_volume_is_2_m_minus_1_over_m(self):
+        """Each participant ships ~2(m-1)/m of the data (§3.1)."""
+        n, m = 1000, 4
+        network = Network()
+        ring_allreduce([{"w": np.zeros(n)} for _ in range(m)], network)
+        per_worker = network.total_bytes / m
+        expected = 2 * (m - 1) / m * n * 8
+        assert per_worker == pytest.approx(expected, rel=0.01)
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([{"w": np.zeros(2)}, {"v": np.zeros(2)}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([])
+
+
+class TestRuntimeAccounting:
+    """The trainer's measured traffic matches the Figure 17 model."""
+
+    def setup_method(self):
+        X, y = make_classification_data(num_samples=96, seed=9)
+        self.batches = [(X[i * 12 : (i + 1) * 12], y[i * 12 : (i + 1) * 12])
+                        for i in range(8)]
+
+    def _train(self, stages):
+        model = build_mlp(rng=np.random.default_rng(40))
+        trainer = PipelineTrainer(model, stages, CrossEntropyLoss(),
+                                  lambda ps: SGD(ps, lr=0.05))
+        trainer.train_minibatches(self.batches)
+        return trainer
+
+    def test_straight_pipeline_measured_bytes(self):
+        """Measured boundary traffic == 2 a_s per minibatch per boundary."""
+        stages = [Stage(0, 1, 1), Stage(1, 2, 1), Stage(2, 3, 1)]
+        trainer = self._train(stages)
+        # fc1/fc2 output 32 float64 features x 12 samples = 3072 bytes; one
+        # activation + one gradient per boundary per minibatch.
+        per_minibatch = 2 * 3072 + 2 * 3072
+        assert trainer.network.total_bytes == per_minibatch * 8
+        assert trainer.network.in_flight() == 0
+
+    def test_replicated_stage_includes_allreduce(self):
+        stages = [Stage(0, 2, 2), Stage(2, 3, 1)]
+        trainer = self._train(stages)
+        boundary = 2 * 3072 * 8  # one boundary, 8 minibatches
+        stage0_params = sum(
+            p.size for p in trainer.replicas[0][0].module.parameters()
+        )
+        allreduce = ring_allreduce_bytes(stage0_params, 2) * 4  # 4 rounds
+        assert trainer.network.total_bytes == boundary + allreduce
+
+    def test_measured_tracks_analytic_model(self):
+        """Runtime bytes scale like communication_bytes_per_minibatch."""
+        from repro.profiler import profile_model
+
+        model = build_mlp(rng=np.random.default_rng(40))
+        profile = profile_model(model, self.batches[0][0], 1, 0)
+        stages = [Stage(0, 2, 2), Stage(2, 3, 1)]
+        analytic = communication_bytes_per_minibatch(profile, stages) * 8
+        trainer = self._train(stages)
+        measured = trainer.network.total_bytes
+        assert measured == pytest.approx(analytic, rel=0.05)

@@ -1,0 +1,76 @@
+"""Deployment plans and schedule serialization (§4)."""
+
+import pytest
+
+from repro.core.deploy import (
+    DeploymentPlan,
+    WorkerAssignment,
+    deserialize_schedule,
+    serialize_schedule,
+)
+from repro.core.partition import PipeDreamOptimizer
+from repro.core.schedule import one_f_one_b_rr_schedule, validate_schedule
+from repro.core.topology import make_cluster
+
+
+@pytest.fixture
+def plan(toy_profile, flat4):
+    result = PipeDreamOptimizer(toy_profile, flat4).solve()
+    return DeploymentPlan.from_partition(result)
+
+
+class TestDeploymentPlan:
+    def test_worker_assignments_cover_all_workers(self, plan):
+        assert plan.num_workers == 4
+        workers = [a.worker for a in plan.assignments]
+        assert workers == list(range(4))
+
+    def test_stage_of_layer_annotation(self, plan):
+        """Every layer is annotated with exactly one stage id (§4)."""
+        annotated = plan.annotated_layers()
+        assert [a["layer"] for a in annotated] == plan.layer_names
+        for a in annotated:
+            stage = plan.stages[a["stage"]]
+            assert stage.start <= a["index"] < stage.stop
+
+    def test_stage_of_layer_out_of_range(self, plan):
+        with pytest.raises(IndexError):
+            plan.stage_of_layer(99)
+
+    def test_workers_for_stage(self, plan):
+        total = sum(len(plan.workers_for_stage(s)) for s in range(len(plan.stages)))
+        assert total == 4
+
+    def test_materialized_schedule_valid(self, plan):
+        schedule = plan.schedule(12)
+        validate_schedule(schedule)
+        assert schedule.noam == plan.noam
+
+    def test_json_roundtrip(self, plan):
+        restored = DeploymentPlan.from_json(plan.to_json())
+        assert restored.model_name == plan.model_name
+        assert restored.stages == plan.stages
+        assert restored.noam == plan.noam
+        assert restored.assignments == plan.assignments
+
+    def test_describe_mentions_every_stage(self, plan):
+        text = plan.describe()
+        for s in range(len(plan.stages)):
+            assert f"stage {s}:" in text
+
+
+class TestScheduleSerialization:
+    def test_roundtrip_preserves_ops(self, plan):
+        schedule = plan.schedule(9)
+        restored = deserialize_schedule(serialize_schedule(schedule))
+        assert restored.worker_ops == schedule.worker_ops
+        assert restored.stages == schedule.stages
+        assert restored.num_minibatches == schedule.num_minibatches
+        validate_schedule(restored)
+
+    def test_roundtrip_gpipe_flushes(self):
+        from repro.core.schedule import gpipe_schedule
+
+        schedule = gpipe_schedule(3, 2, 4)
+        restored = deserialize_schedule(serialize_schedule(schedule))
+        assert restored.flush_after == schedule.flush_after

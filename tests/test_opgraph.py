@@ -1,0 +1,118 @@
+"""Operator-graph linearization and cut accounting (§4)."""
+
+import pytest
+
+from repro.core.opgraph import OperatorGraph, residual_block_graph
+from repro.core.partition import PipeDreamOptimizer
+from repro.core.topology import make_cluster
+
+
+def diamond() -> OperatorGraph:
+    """a -> (b, c) -> d"""
+    graph = OperatorGraph("diamond")
+    graph.add("a", 1.0, 100)
+    graph.add("b", 1.0, 10, inputs=["a"])
+    graph.add("c", 1.0, 20, inputs=["a"])
+    graph.add("d", 1.0, 5, inputs=["b", "c"])
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_rejected(self):
+        graph = OperatorGraph()
+        graph.add("a", 1.0, 1)
+        with pytest.raises(ValueError):
+            graph.add("a", 1.0, 1)
+
+    def test_unknown_input_rejected(self):
+        graph = OperatorGraph()
+        with pytest.raises(KeyError):
+            graph.add("b", 1.0, 1, inputs=["nope"])
+
+    def test_edges_tracked(self):
+        graph = diamond()
+        assert graph.successors("a") == ["b", "c"]
+        assert graph.predecessors("d") == ["b", "c"]
+        assert "a" in graph and len(graph) == 4
+
+
+class TestLinearize:
+    def test_respects_dependencies(self):
+        graph = diamond()
+        order = graph.linearize()
+        graph.validate_order(order)
+        assert order[0] == "a" and order[-1] == "d"
+
+    def test_bfs_layering(self):
+        order = diamond().linearize()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_cycle_detected(self):
+        graph = OperatorGraph()
+        graph.add("a", 1.0, 1)
+        graph.add("b", 1.0, 1, inputs=["a"])
+        # Manually inject a back edge to form a cycle.
+        graph._predecessors["a"].append("b")
+        graph._successors["b"].append("a")
+        with pytest.raises(ValueError):
+            graph.linearize()
+
+    def test_validate_rejects_bad_order(self):
+        graph = diamond()
+        with pytest.raises(ValueError):
+            graph.validate_order(["d", "a", "b", "c"])
+        with pytest.raises(ValueError):
+            graph.validate_order(["a", "b", "c"])  # missing node
+
+
+class TestCutAccounting:
+    def test_single_edge_cut(self):
+        graph = diamond()
+        order = graph.linearize()
+        # Cut after "a": only a's output (100) crosses.
+        assert graph.cut_bytes(order, 0) == 100
+
+    def test_skip_connection_inflates_cut(self):
+        graph = diamond()
+        order = graph.linearize()  # a b c d
+        # Cut after "b": a's output still needed by c, plus b's output.
+        assert graph.cut_bytes(order, 1) == 100 + 10
+
+    def test_output_counted_once_for_multiple_consumers(self):
+        graph = OperatorGraph()
+        graph.add("a", 1.0, 100)
+        graph.add("b", 1.0, 1, inputs=["a"])
+        graph.add("c", 1.0, 1, inputs=["a"])
+        order = graph.linearize()
+        assert graph.cut_bytes(order, 0) == 100  # not 200
+
+
+class TestChainProfile:
+    def test_profile_boundaries_match_cuts(self):
+        graph = diamond()
+        profile = graph.chain_profile()
+        order = graph.linearize()
+        for i in range(len(order) - 1):
+            assert profile.activation_bytes(i) == graph.cut_bytes(order, i)
+
+    def test_partitioner_consumes_dag_models(self):
+        graph = residual_block_graph(num_blocks=3)
+        profile = graph.chain_profile(batch_size=4)
+        topo = make_cluster("t", 4, 1, 1e6, 1e6)
+        plan = PipeDreamOptimizer(profile, topo).solve()
+        assert sum(s.replicas for s in plan.stages) == 4
+
+    def test_residual_cuts_prefer_block_boundaries(self):
+        """Inside a block, the skip edge doubles the cut traffic, so the
+        cheapest places to split are between blocks."""
+        graph = residual_block_graph(num_blocks=2, tensor_bytes=1000)
+        order = graph.linearize()
+        position = {name: i for i, name in enumerate(order)}
+        inside = graph.cut_bytes(order, position["block1_conv1"])
+        between = graph.cut_bytes(order, position["block1_add"])
+        assert inside > between
+
+    def test_custom_order_used(self):
+        graph = diamond()
+        profile = graph.chain_profile(order=["a", "c", "b", "d"])
+        assert [l.name for l in profile] == ["a", "c", "b", "d"]

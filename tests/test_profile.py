@@ -1,0 +1,63 @@
+"""ModelProfile: aggregation, serialization, precision/device scaling."""
+
+import pytest
+
+from repro.core.profile import LayerProfile, ModelProfile
+
+
+class TestLayerProfile:
+    def test_default_forward_backward_split(self):
+        layer = LayerProfile("l", 3.0, 10, 20)
+        assert layer.forward == pytest.approx(1.0)
+        assert layer.backward == pytest.approx(2.0)
+
+    def test_explicit_forward_time(self):
+        layer = LayerProfile("l", 3.0, 10, 20, forward_time=0.5)
+        assert layer.forward == 0.5
+        assert layer.backward == 2.5
+
+
+class TestModelProfile:
+    def test_range_aggregates(self, toy_profile):
+        assert toy_profile.compute_time(0, 3) == pytest.approx(9.0)
+        assert toy_profile.weight_bytes(3, 5) == 9000
+        assert toy_profile.activation_bytes(2) == 600
+
+    def test_totals(self, toy_profile):
+        assert toy_profile.total_compute_time == pytest.approx(12.0)
+        assert toy_profile.total_weight_bytes == 9600
+
+    def test_len_iter_getitem(self, toy_profile):
+        assert len(toy_profile) == 5
+        assert toy_profile[0].name == "conv1"
+        assert [l.name for l in toy_profile][-1] == "fc2"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ModelProfile("empty", [], batch_size=1)
+
+    def test_bad_batch_rejected(self, toy_profile):
+        with pytest.raises(ValueError):
+            ModelProfile("m", toy_profile.layers, batch_size=0)
+
+    def test_scaled_compute(self, toy_profile):
+        slower = toy_profile.scaled(2.0)
+        assert slower.total_compute_time == pytest.approx(24.0)
+        assert slower.total_weight_bytes == toy_profile.total_weight_bytes
+
+    def test_with_precision_halves_bytes(self, toy_profile):
+        fp16 = toy_profile.with_precision(2)
+        assert fp16.total_weight_bytes == toy_profile.total_weight_bytes // 2
+        assert fp16.total_compute_time == toy_profile.total_compute_time
+        assert fp16.bytes_per_element == 2
+
+    def test_json_roundtrip(self, toy_profile):
+        restored = ModelProfile.from_json(toy_profile.to_json())
+        assert restored.model_name == toy_profile.model_name
+        assert restored.batch_size == toy_profile.batch_size
+        assert len(restored) == len(toy_profile)
+        for a, b in zip(restored, toy_profile):
+            assert a == b
+
+    def test_repr(self, toy_profile):
+        assert "toy" in repr(toy_profile)

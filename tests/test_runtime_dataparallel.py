@@ -1,0 +1,121 @@
+"""BSP and ASP data-parallel runtimes."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_classification_data
+from repro.models import build_mlp
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+from repro.runtime import ASPTrainer, BSPTrainer, SequentialTrainer
+
+
+LOSS = CrossEntropyLoss()
+
+
+@pytest.fixture
+def task():
+    X, y = make_classification_data(num_samples=128, seed=2)
+    return [(X[i * 16 : (i + 1) * 16], y[i * 16 : (i + 1) * 16]) for i in range(8)]
+
+
+def fresh_model(seed=11):
+    return build_mlp(rng=np.random.default_rng(seed))
+
+
+def assert_same_weights(a, b, atol=1e-12):
+    for (name, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+        np.testing.assert_allclose(pa.data, pb.data, atol=atol, err_msg=name)
+
+
+class TestBSP:
+    def test_single_worker_equals_sequential(self, task):
+        m_bsp, m_ref = fresh_model(), fresh_model()
+        bsp = BSPTrainer(m_bsp, LOSS, lambda ps: SGD(ps, lr=0.1), num_workers=1)
+        ref = SequentialTrainer(m_ref, LOSS, SGD(m_ref.parameters(), lr=0.1))
+        bsp.train_epoch(task)
+        ref.train_epoch(task)
+        assert_same_weights(m_bsp, m_ref)
+
+    def test_gradient_averaging_equals_combined_batch(self, task):
+        """4 shards averaged == SGD on the concatenated global minibatch."""
+        m_bsp, m_ref = fresh_model(), fresh_model()
+        bsp = BSPTrainer(m_bsp, LOSS, lambda ps: SGD(ps, lr=0.1), num_workers=4)
+        ref = SequentialTrainer(m_ref, LOSS, SGD(m_ref.parameters(), lr=0.1))
+        shards = task[:4]
+        bsp.train_step(shards)
+        big_x = np.concatenate([x for x, _ in shards])
+        big_y = np.concatenate([y for _, y in shards])
+        ref.train_minibatch(big_x, big_y)
+        assert_same_weights(m_bsp, m_ref, atol=1e-10)
+
+    def test_wrong_shard_count_rejected(self, task):
+        bsp = BSPTrainer(fresh_model(), LOSS, lambda ps: SGD(ps, lr=0.1), num_workers=4)
+        with pytest.raises(ValueError):
+            bsp.train_step(task[:2])
+
+    def test_epoch_consumes_groups(self, task):
+        bsp = BSPTrainer(fresh_model(), LOSS, lambda ps: SGD(ps, lr=0.1), num_workers=4)
+        loss = bsp.train_epoch(task)  # 8 batches -> 2 sync steps
+        assert np.isfinite(loss)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            BSPTrainer(fresh_model(), LOSS, lambda ps: SGD(ps, lr=0.1), num_workers=0)
+
+    def test_converges(self, task):
+        bsp = BSPTrainer(fresh_model(), LOSS, lambda ps: SGD(ps, lr=0.1), num_workers=2)
+        losses = [bsp.train_epoch(task) for _ in range(6)]
+        assert losses[-1] < 0.5 * losses[0]
+
+
+class TestASP:
+    def test_single_worker_equals_sequential(self, task):
+        """With one worker there is no staleness at all."""
+        m_asp, m_ref = fresh_model(), fresh_model()
+        asp = ASPTrainer(m_asp, LOSS, lambda ps: SGD(ps, lr=0.1), num_workers=1)
+        ref = SequentialTrainer(m_ref, LOSS, SGD(m_ref.parameters(), lr=0.1))
+        asp.train_epoch(task)
+        ref.train_epoch(task)
+        assert_same_weights(m_asp, m_ref)
+
+    def test_stale_gradients_differ_from_bsp(self, task):
+        m_asp, m_seq = fresh_model(), fresh_model()
+        asp = ASPTrainer(m_asp, LOSS, lambda ps: SGD(ps, lr=0.1), num_workers=4)
+        seq = SequentialTrainer(m_seq, LOSS, SGD(m_seq.parameters(), lr=0.1))
+        asp.train_epoch(task)
+        seq.train_epoch(task)
+        diffs = [
+            np.abs(pa.data - pb.data).max()
+            for (_, pa), (_, pb) in zip(m_asp.named_parameters(), m_seq.named_parameters())
+        ]
+        assert max(diffs) > 1e-9
+
+    def test_still_converges_on_easy_task(self, task):
+        asp = ASPTrainer(fresh_model(), LOSS, lambda ps: SGD(ps, lr=0.05), num_workers=4)
+        losses = [asp.train_epoch(task) for _ in range(8)]
+        assert losses[-1] < losses[0]
+
+    def test_worker_snapshots_are_stale(self, task):
+        """A worker's replica lags the server by other workers' pushes."""
+        asp = ASPTrainer(fresh_model(), LOSS, lambda ps: SGD(ps, lr=0.1), num_workers=4)
+        asp.train_step(*task[0])  # worker 0 pushes and pulls
+        asp.train_step(*task[1])  # worker 1 pushes: worker 0 now stale
+        w0 = dict(asp.worker_models[0].named_parameters())
+        server = dict(asp.model.named_parameters())
+        stale = any(
+            not np.array_equal(w0[k].data, server[k].data) for k in server
+        )
+        assert stale
+
+    def test_statistical_efficiency_worse_at_high_lr(self):
+        """§5.2's ASP comparison: staleness hurts at aggressive step sizes."""
+        X, y = make_classification_data(num_samples=256, seed=3, noise=1.0)
+        batches = [(X[i * 16 : (i + 1) * 16], y[i * 16 : (i + 1) * 16]) for i in range(16)]
+        lr = 0.8
+        m_bsp, m_asp = fresh_model(5), fresh_model(5)
+        bsp = BSPTrainer(m_bsp, LOSS, lambda ps: SGD(ps, lr=lr, momentum=0.9), num_workers=4)
+        asp = ASPTrainer(m_asp, LOSS, lambda ps: SGD(ps, lr=lr, momentum=0.9), num_workers=4)
+        bsp_loss = np.mean([bsp.train_epoch(batches) for _ in range(6)][-2:])
+        asp_loss = np.mean([asp.train_epoch(batches) for _ in range(6)][-2:])
+        assert asp_loss > bsp_loss * 0.8  # ASP no better, typically worse

@@ -1,0 +1,94 @@
+"""GPipe runtime: flush semantics and recomputation."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import Stage
+from repro.data import make_classification_data
+from repro.models import build_mlp
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+from repro.runtime import GPipeTrainer, SequentialTrainer
+
+
+LOSS = CrossEntropyLoss()
+
+
+@pytest.fixture
+def task():
+    X, y = make_classification_data(num_samples=128, seed=4)
+    return [(X[i * 16 : (i + 1) * 16], y[i * 16 : (i + 1) * 16]) for i in range(8)]
+
+
+def fresh_model(seed=13):
+    return build_mlp(rng=np.random.default_rng(seed))
+
+
+def assert_same_weights(a, b, atol=1e-10):
+    for (name, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+        np.testing.assert_allclose(pa.data, pb.data, atol=atol, err_msg=name)
+
+
+class TestGPipeSemantics:
+    @pytest.mark.parametrize("micros", [1, 2, 4])
+    def test_equals_sequential_sgd(self, task, micros):
+        """Microbatch aggregation + flush == plain SGD on the minibatch."""
+        m_gp, m_ref = fresh_model(), fresh_model()
+        gp = GPipeTrainer(m_gp, [Stage(0, 3, 1)], LOSS,
+                          lambda ps: SGD(ps, lr=0.1), num_microbatches=micros)
+        ref = SequentialTrainer(m_ref, LOSS, SGD(m_ref.parameters(), lr=0.1))
+        for x, y in task:
+            gp.train_minibatch(x, y)
+            ref.train_minibatch(x, y)
+        assert_same_weights(m_gp, m_ref)
+
+    def test_recompute_gives_identical_weights(self, task):
+        m_plain, m_rec = fresh_model(), fresh_model()
+        gp1 = GPipeTrainer(m_plain, [Stage(0, 3, 1)], LOSS,
+                           lambda ps: SGD(ps, lr=0.1), num_microbatches=4)
+        gp2 = GPipeTrainer(m_rec, [Stage(0, 3, 1)], LOSS,
+                           lambda ps: SGD(ps, lr=0.1), num_microbatches=4,
+                           recompute_activations=True)
+        for x, y in task:
+            gp1.train_minibatch(x, y)
+            gp2.train_minibatch(x, y)
+        assert_same_weights(m_plain, m_rec)
+
+    def test_uneven_microbatches_weighted_correctly(self):
+        """A minibatch of 10 into 4 microbatches (3+3+2+2) still equals SGD."""
+        X, y = make_classification_data(num_samples=10, seed=9)
+        m_gp, m_ref = fresh_model(), fresh_model()
+        gp = GPipeTrainer(m_gp, [Stage(0, 3, 1)], LOSS,
+                          lambda ps: SGD(ps, lr=0.1), num_microbatches=4)
+        ref = SequentialTrainer(m_ref, LOSS, SGD(m_ref.parameters(), lr=0.1))
+        gp.train_minibatch(X, y)
+        ref.train_minibatch(X, y)
+        assert_same_weights(m_gp, m_ref)
+
+    def test_minibatch_too_small_rejected(self):
+        X, y = make_classification_data(num_samples=2, seed=9)
+        gp = GPipeTrainer(fresh_model(), [Stage(0, 3, 1)], LOSS,
+                          lambda ps: SGD(ps, lr=0.1), num_microbatches=4)
+        with pytest.raises(ValueError):
+            gp.train_minibatch(X, y)
+
+    def test_stage_coverage_validated(self):
+        with pytest.raises(ValueError):
+            GPipeTrainer(fresh_model(), [Stage(0, 2, 1)], LOSS,
+                         lambda ps: SGD(ps, lr=0.1))
+
+    def test_loss_is_sample_weighted_mean(self, task):
+        gp = GPipeTrainer(fresh_model(), [Stage(0, 3, 1)], LOSS,
+                          lambda ps: SGD(ps, lr=0.0), num_microbatches=2)
+        ref = SequentialTrainer(fresh_model(), LOSS, SGD([p for p in fresh_model().parameters()], lr=0.0))
+        x, y = task[0]
+        loss_gp = gp.train_minibatch(x, y)
+        m = fresh_model()
+        loss_ref = LOSS(m(x), y).item()
+        assert loss_gp == pytest.approx(loss_ref, rel=1e-9)
+
+    def test_converges(self, task):
+        gp = GPipeTrainer(fresh_model(), [Stage(0, 3, 1)], LOSS,
+                          lambda ps: SGD(ps, lr=0.1), num_microbatches=4)
+        losses = [gp.train_epoch(task) for _ in range(6)]
+        assert losses[-1] < 0.5 * losses[0]

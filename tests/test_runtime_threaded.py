@@ -1,0 +1,166 @@
+"""The threaded (one OS thread per worker) pipeline runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import Stage
+from repro.data import make_classification_data
+from repro.models import build_mlp
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+from repro.runtime import PipelineTrainer, ThreadedPipelineTrainer
+from repro.runtime.threaded import MessageBoard, _RoundSync
+
+LOSS = CrossEntropyLoss()
+STRAIGHT = [Stage(0, 1, 1), Stage(1, 2, 1), Stage(2, 3, 1)]
+
+
+@pytest.fixture
+def task():
+    X, y = make_classification_data(num_samples=96, seed=3)
+    return [(X[i * 12 : (i + 1) * 12], y[i * 12 : (i + 1) * 12]) for i in range(8)]
+
+
+def fresh_model(seed=7):
+    return build_mlp(rng=np.random.default_rng(seed))
+
+
+def assert_same_weights(a, b):
+    for (name, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data, err_msg=name)
+
+
+class TestMessageBoard:
+    def test_put_then_get(self):
+        board = MessageBoard()
+        board.put(("x",), 42)
+        assert board.get(("x",)) == 42
+
+    def test_get_blocks_until_put(self):
+        import threading
+
+        board = MessageBoard()
+        result = []
+
+        def consumer():
+            result.append(board.get(("late",), timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        board.put(("late",), "hello")
+        thread.join(timeout=5.0)
+        assert result == ["hello"]
+
+    def test_timeout(self):
+        board = MessageBoard()
+        with pytest.raises(TimeoutError):
+            board.get(("never",), timeout=0.05)
+
+    def test_fail_wakes_waiters(self):
+        board = MessageBoard()
+        board.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError):
+            board.get(("anything",), timeout=5.0)
+
+
+class TestRoundSync:
+    def test_single_member_immediate(self):
+        sync = _RoundSync()
+        grads = {"w": np.ones(2)}
+        out = sync.submit(0, grads, members=1)
+        np.testing.assert_array_equal(out["w"], np.ones(2))
+
+    def test_two_members_averaged(self):
+        import threading
+
+        sync = _RoundSync()
+        results = {}
+
+        def member(name, value):
+            results[name] = sync.submit(0, {"w": np.full(2, value)}, members=2,
+                                        timeout=5.0)
+
+        t1 = threading.Thread(target=member, args=("a", 1.0))
+        t2 = threading.Thread(target=member, args=("b", 3.0))
+        t1.start(); t2.start(); t1.join(5.0); t2.join(5.0)
+        np.testing.assert_array_equal(results["a"]["w"], np.full(2, 2.0))
+        np.testing.assert_array_equal(results["b"]["w"], np.full(2, 2.0))
+
+    def test_timeout_on_missing_member(self):
+        sync = _RoundSync()
+        with pytest.raises(TimeoutError):
+            sync.submit(0, {"w": np.ones(1)}, members=2, timeout=0.05)
+
+
+class TestThreadedTrainer:
+    def test_bitwise_equal_to_logical_for_straight(self, task):
+        m_logical, m_threaded = fresh_model(), fresh_model()
+        logical = PipelineTrainer(m_logical, STRAIGHT, LOSS,
+                                  lambda ps: SGD(ps, lr=0.05))
+        threaded = ThreadedPipelineTrainer(m_threaded, STRAIGHT, LOSS,
+                                           lambda ps: SGD(ps, lr=0.05))
+        l1 = logical.train_minibatches(task)
+        l2 = threaded.train_minibatches(task)
+        assert l1 == pytest.approx(l2)
+        assert_same_weights(logical.consolidated_model(),
+                            threaded.consolidated_model())
+
+    def test_staleness_formula_holds_concurrently(self, task):
+        threaded = ThreadedPipelineTrainer(fresh_model(), STRAIGHT, LOSS,
+                                           lambda ps: SGD(ps, lr=0.05))
+        threaded.train_minibatches(task)
+        n = 3
+        for b in range(len(task)):
+            for s in range(n):
+                expected = max(0, b - (n - 1 - s))
+                assert threaded.stats.forward_versions[(s, b)] == expected
+
+    def test_multiple_epochs(self, task):
+        trainer = ThreadedPipelineTrainer(fresh_model(), STRAIGHT, LOSS,
+                                          lambda ps: SGD(ps, lr=0.1))
+        losses = [trainer.train_minibatches(task) for _ in range(4)]
+        assert losses[-1] < losses[0]
+
+    def test_replicated_stage_trains_and_stays_consistent(self, task):
+        trainer = ThreadedPipelineTrainer(
+            fresh_model(), [Stage(0, 2, 2), Stage(2, 3, 1)], LOSS,
+            lambda ps: SGD(ps, lr=0.05))
+        losses = [trainer.train_minibatches(task) for _ in range(3)]
+        assert losses[-1] < losses[0]
+        a, b = trainer.replicas[0]
+        for (name, pa), (_, pb) in zip(
+            a.module.named_parameters(), b.module.named_parameters()
+        ):
+            np.testing.assert_allclose(pa.data, pb.data, err_msg=name)
+
+    def test_gradient_accumulation_matches_logical(self, task):
+        m_logical, m_threaded = fresh_model(), fresh_model()
+        logical = PipelineTrainer(m_logical, [Stage(0, 3, 1)], LOSS,
+                                  lambda ps: SGD(ps, lr=0.05),
+                                  gradient_accumulation=2)
+        threaded = ThreadedPipelineTrainer(m_threaded, [Stage(0, 3, 1)], LOSS,
+                                           lambda ps: SGD(ps, lr=0.05),
+                                           gradient_accumulation=2)
+        logical.train_minibatches(task)
+        threaded.train_minibatches(task)
+        assert_same_weights(logical.consolidated_model(),
+                            threaded.consolidated_model())
+
+    def test_vertical_sync_policy(self, task):
+        trainer = ThreadedPipelineTrainer(fresh_model(), STRAIGHT, LOSS,
+                                          lambda ps: SGD(ps, lr=0.05),
+                                          policy="vertical_sync")
+        trainer.train_minibatches(task)
+        for b in range(2, len(task)):
+            versions = {trainer.stats.forward_versions[(s, b)] for s in range(3)}
+            assert len(versions) == 1  # all stages pin the same version
+
+    def test_worker_failure_propagates(self, task):
+        trainer = ThreadedPipelineTrainer(fresh_model(), STRAIGHT, LOSS,
+                                          lambda ps: SGD(ps, lr=0.05),
+                                          worker_timeout=5.0)
+        # Poison one batch so the last stage's loss computation fails.
+        bad = list(task)
+        bad[3] = (bad[3][0], np.full_like(bad[3][1], 99))  # out-of-range class
+        with pytest.raises(RuntimeError):
+            trainer.train_minibatches(bad)

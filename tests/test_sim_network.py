@@ -1,0 +1,74 @@
+"""Placement, link bandwidths, and all_reduce cost model."""
+
+import pytest
+
+from repro.core.topology import make_cluster
+from repro.sim.network import Placement, allreduce_time, transfer_time
+
+
+@pytest.fixture
+def placement():
+    # 2 servers x 4 GPUs; intra 100 B/s, inter 10 B/s.
+    return Placement(make_cluster("t", 4, 2, 100.0, 10.0))
+
+
+class TestPlacement:
+    def test_coordinates_pack_innermost_first(self, placement):
+        assert placement.coordinates(0) == (0, 0)
+        assert placement.coordinates(3) == (3, 0)
+        assert placement.coordinates(4) == (0, 1)
+        assert placement.coordinates(7) == (3, 1)
+
+    def test_intra_server_bandwidth(self, placement):
+        assert placement.link_bandwidth(0, 3) == 100.0
+
+    def test_inter_server_bandwidth(self, placement):
+        assert placement.link_bandwidth(0, 4) == 10.0
+        assert placement.link_bandwidth(3, 4) == 10.0
+
+    def test_self_link_infinite(self, placement):
+        assert placement.link_bandwidth(2, 2) == float("inf")
+
+    def test_group_span(self, placement):
+        assert placement.group_span([0, 1, 2, 3]) == [4, 1]
+        assert placement.group_span([0, 4]) == [2, 2]
+        assert placement.group_span(list(range(8))) == [8, 2]
+
+
+class TestTransferTime:
+    def test_intra(self, placement):
+        assert transfer_time(placement, 0, 1, 200.0) == pytest.approx(2.0)
+
+    def test_inter(self, placement):
+        assert transfer_time(placement, 0, 4, 200.0) == pytest.approx(20.0)
+
+    def test_zero_bytes(self, placement):
+        assert transfer_time(placement, 0, 1, 0.0) == 0.0
+
+    def test_same_worker(self, placement):
+        assert transfer_time(placement, 2, 2, 1e9) == 0.0
+
+
+class TestAllReduce:
+    def test_single_worker_free(self, placement):
+        assert allreduce_time(placement, [0], 1000.0) == 0.0
+
+    def test_intra_server_ring(self, placement):
+        # 4 workers, one server: 2*(3/4)*bytes / 100
+        t = allreduce_time(placement, [0, 1, 2, 3], 400.0)
+        assert t == pytest.approx(2 * 0.75 * 400.0 / 100.0)
+
+    def test_cross_server_hierarchical(self, placement):
+        # 8 workers over 2 servers: intra ring of 4 + inter ring of 2.
+        t = allreduce_time(placement, list(range(8)), 400.0)
+        expected = 2 * 0.75 * 400 / 100 + 2 * 0.5 * 400 / 10
+        assert t == pytest.approx(expected)
+
+    def test_two_workers_across_servers(self, placement):
+        t = allreduce_time(placement, [0, 4], 100.0)
+        assert t == pytest.approx(2 * 0.5 * 100 / 10)
+
+    def test_more_workers_cost_more_over_slow_links(self, placement):
+        t4 = allreduce_time(placement, [0, 1, 2, 3], 400.0)
+        t8 = allreduce_time(placement, list(range(8)), 400.0)
+        assert t8 > t4

@@ -1,0 +1,143 @@
+"""Weight stashing and vertical sync (§3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stashing import WeightStore, WeightVersion
+
+
+def make_store(policy="stashing"):
+    return WeightStore({"w": np.zeros(3), "b": np.ones(1)}, policy=policy)
+
+
+class TestBasics:
+    def test_initial_version_zero(self):
+        store = make_store()
+        assert store.latest_version == 0
+        assert store.live_versions() == [0]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            WeightStore({"w": np.zeros(1)}, policy="bogus")
+
+    def test_initial_state_is_copied(self):
+        arr = np.zeros(3)
+        store = WeightStore({"w": arr})
+        arr[0] = 99.0
+        assert store.weights_for_forward(0).get("w")[0] == 0.0
+
+    def test_commit_bumps_version(self):
+        store = make_store()
+        v = store.commit({"w": np.ones(3), "b": np.ones(1)})
+        assert v == 1
+        assert store.latest_version == 1
+
+    def test_commit_copies_state(self):
+        store = make_store()
+        state = {"w": np.ones(3), "b": np.ones(1)}
+        store.commit(state)
+        state["w"][0] = 42.0
+        assert store.weights_for_forward(0).get("w")[0] == 1.0
+
+
+class TestStashingPolicy:
+    def test_backward_gets_forward_version(self):
+        store = make_store()
+        v0 = store.weights_for_forward(0)
+        store.commit({"w": np.ones(3), "b": np.ones(1)})
+        v_fwd1 = store.weights_for_forward(1)
+        assert store.weights_for_backward(0).version == v0.version == 0
+        assert store.weights_for_backward(1).version == v_fwd1.version == 1
+
+    def test_backward_without_forward_raises(self):
+        store = make_store()
+        with pytest.raises(KeyError):
+            store.weights_for_backward(7)
+
+    def test_old_versions_collected_after_backward(self):
+        store = make_store()
+        store.weights_for_forward(0)
+        store.commit({"w": np.ones(3), "b": np.ones(1)})
+        assert store.num_live_versions == 2  # version 0 kept for mb 0
+        store.weights_for_backward(0)
+        assert store.live_versions() == [1]
+
+    def test_versions_bounded_by_in_flight(self):
+        store = make_store()
+        for mb in range(5):
+            store.weights_for_forward(mb)
+            store.commit({"w": np.full(3, mb + 1.0), "b": np.ones(1)})
+        # 5 in-flight minibatches -> versions 0..4 stashed plus latest 5.
+        assert store.num_live_versions == 6
+        for mb in range(5):
+            assert store.weights_for_backward(mb).version == mb
+        assert store.live_versions() == [5]
+
+    def test_stashed_version_query(self):
+        store = make_store()
+        store.weights_for_forward(3)
+        assert store.stashed_version(3) == 0
+        assert store.stashed_version(9) is None
+
+    def test_memory_bytes_counts_versions(self):
+        store = make_store()
+        one = store.memory_bytes()
+        store.weights_for_forward(0)
+        store.commit({"w": np.ones(3), "b": np.ones(1)})
+        assert store.memory_bytes() == 2 * one
+
+    def test_pin_rejected_outside_vertical_sync(self):
+        store = make_store()
+        with pytest.raises(RuntimeError):
+            store.pin(0, 0)
+
+
+class TestNaivePolicy:
+    def test_backward_uses_latest(self):
+        store = make_store(policy="none")
+        store.weights_for_forward(0)
+        store.commit({"w": np.ones(3), "b": np.ones(1)})
+        assert store.weights_for_backward(0).version == 1  # mismatch!
+
+    def test_no_stash_accumulation(self):
+        store = make_store(policy="none")
+        for mb in range(4):
+            store.weights_for_forward(mb)
+        store.commit({"w": np.ones(3), "b": np.ones(1)})
+        assert store.num_live_versions == 1
+
+
+class TestVerticalSync:
+    def test_pin_selects_old_version(self):
+        store = make_store(policy="vertical_sync")
+        store.weights_for_forward(0)
+        store.commit({"w": np.ones(3), "b": np.ones(1)})
+        store.pin(1, 0)
+        assert store.weights_for_forward(1).version == 0
+
+    def test_versions_retained_until_released(self):
+        store = make_store(policy="vertical_sync")
+        # Commit versions 1..3 with nothing stashed: a naive GC would drop
+        # 0..2, but a later minibatch may still arrive pinned to them.
+        for i in range(3):
+            store.commit({"w": np.full(3, i + 1.0), "b": np.ones(1)})
+        assert store.live_versions() == [0, 1, 2, 3]
+
+    def test_release_after_backward(self):
+        store = make_store(policy="vertical_sync")
+        store.pin(0, 0)
+        store.weights_for_forward(0)
+        store.commit({"w": np.ones(3), "b": np.ones(1)})
+        store.commit({"w": np.full(3, 2.0), "b": np.ones(1)})
+        store.pin(1, 1)
+        store.weights_for_forward(1)
+        store.weights_for_backward(0)  # releases versions < 0 (none)
+        assert store.weights_for_backward(1).version == 1
+        # After backward with pin 1, version 0 can be collected.
+        assert 0 not in store.live_versions()
+
+    def test_pin_falls_back_to_nearest_older(self):
+        store = make_store(policy="vertical_sync")
+        store.commit({"w": np.ones(3), "b": np.ones(1)})
+        store.pin(5, 99)  # future version: resolve to newest available <= 99
+        assert store.weights_for_forward(5).version == 1
