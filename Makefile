@@ -1,0 +1,14 @@
+PYTHON ?= python
+
+.PHONY: test perf verify
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Refresh the BENCH_perf.json baseline (run on a quiet machine).
+perf:
+	$(PYTHON) tools/perf_report.py
+
+# Tier-1 tests + perf-regression gate — the single pre-merge entry point.
+verify:
+	bash tools/verify.sh

@@ -1,0 +1,27 @@
+"""Persistent performance-regression harness.
+
+``perf`` times a fixed set of representative workloads (the hot paths every
+headline experiment leans on) and records them in ``BENCH_perf.json`` at the
+repo root — the perf-trajectory artifact.  ``tools/perf_report.py`` refreshes
+the file; ``tools/check_perf.py`` reruns the workloads and fails on >2×
+regression of any recorded entry (wired into ``make verify``).
+"""
+
+from perf.harness import (
+    REPORT_PATH,
+    WORKLOADS,
+    load_report,
+    run_all,
+    run_workload,
+    write_report,
+)
+import perf.workloads  # noqa: F401  (registers the workloads)
+
+__all__ = [
+    "REPORT_PATH",
+    "WORKLOADS",
+    "load_report",
+    "run_all",
+    "run_workload",
+    "write_report",
+]

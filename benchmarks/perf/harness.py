@@ -1,0 +1,72 @@
+"""Workload registry, timing, and BENCH_perf.json I/O.
+
+A *workload* is a callable returning ``(seconds, detail)``: the representative
+wall-clock number to track (each workload decides its own best-of-k repeat
+policy) plus a dict of auxiliary measurements worth keeping (speedups,
+correctness flags, per-model breakdowns).  The registry keeps insertion
+order so reports are stable and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+REPORT_PATH = REPO_ROOT / "BENCH_perf.json"
+SCHEMA_VERSION = 1
+
+WorkloadFn = Callable[[], Tuple[float, dict]]
+WORKLOADS: Dict[str, WorkloadFn] = {}
+
+
+def workload(name: str) -> Callable[[WorkloadFn], WorkloadFn]:
+    """Register ``fn`` under ``name``; names are the JSON keys."""
+
+    def register(fn: WorkloadFn) -> WorkloadFn:
+        if name in WORKLOADS:
+            raise ValueError(f"duplicate workload {name!r}")
+        WORKLOADS[name] = fn
+        return fn
+
+    return register
+
+
+def best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Minimum wall-clock seconds of ``repeats`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_workload(name: str) -> dict:
+    seconds, detail = WORKLOADS[name]()
+    return {"seconds": seconds, "detail": detail}
+
+
+def run_all() -> Dict[str, dict]:
+    return {name: run_workload(name) for name in WORKLOADS}
+
+
+def write_report(results: Dict[str, dict], path: Path = REPORT_PATH) -> Path:
+    report = {
+        "schema": SCHEMA_VERSION,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workloads": results,
+    }
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_report(path: Path = REPORT_PATH) -> dict:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,140 @@
+"""The recorded perf workloads: the hot paths behind the headline figures.
+
+Every entry returns ``(seconds, detail)`` — the wall-clock number tracked in
+``BENCH_perf.json`` plus auxiliary measurements.  Workloads are sized to
+keep a full harness run around a second so it can gate every verify run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from perf.harness import best_of, workload
+
+from repro.core.partition import PipeDreamOptimizer
+from repro.core.schedule import data_parallel_schedule, one_f_one_b_rr_schedule
+from repro.core.topology import cluster_a
+from repro.profiler import analytic_profile
+from repro.sim.executor import SimOptions, simulate
+from repro.sim.strategies import balanced_straight_stages, simulate_pipedream
+
+#: The seven models of the paper's evaluation (§5.1, Table 1/2).
+PAPER_MODELS = ("vgg16", "resnet50", "alexnet", "gnmt16", "gnmt8", "awd-lm", "s2vt")
+
+
+@workload("table1_plan_simulate_16w")
+def table1_plan_simulate():
+    """Table 1 inner loop: optimizer plan + 1F1B simulation, 16 workers."""
+    topology = cluster_a(4)
+    models = ("vgg16", "gnmt8")
+
+    def run():
+        for model in models:
+            profile = analytic_profile(model)
+            simulate_pipedream(profile, topology, num_minibatches=32)
+
+    seconds = best_of(run)
+    return seconds, {"models": list(models), "minibatches": 32}
+
+
+@workload("fig18_depth_sweep")
+def fig18_depth_sweep():
+    """Figure 18 shape: GNMT-8 straight pipeline, depth swept 2..7."""
+    profile = analytic_profile("gnmt8")
+    topology = cluster_a(1)
+    stages = balanced_straight_stages(profile, 4)
+    depths = range(2, 8)
+
+    def run():
+        for depth in depths:
+            schedule = one_f_one_b_rr_schedule(
+                stages, 48, in_flight_per_replica=depth
+            )
+            simulate(schedule, profile, topology, SimOptions())
+
+    seconds = best_of(run)
+    return seconds, {"model": "gnmt8", "depths": list(depths), "minibatches": 48}
+
+
+@workload("optimizer_runtime_7models_16w")
+def optimizer_runtime():
+    """§5.5: cold ``solve()`` for all seven paper models at 16 workers."""
+    topology = cluster_a(4)
+    per_model = {}
+    total = 0.0
+    for model in PAPER_MODELS:
+        profile = analytic_profile(model)
+        t0 = time.perf_counter()
+        plan = PipeDreamOptimizer(profile, topology).solve()
+        elapsed = time.perf_counter() - t0
+        per_model[model] = {
+            "seconds": elapsed,
+            "config": plan.config_string,
+            "layers": len(profile),
+        }
+        total += elapsed
+    return total, {
+        "per_model": per_model,
+        "paper_bound_seconds": 8.0,
+        "within_paper_bound": all(
+            m["seconds"] < 8.0 for m in per_model.values()
+        ),
+    }
+
+
+@workload("straggler_sim_64w")
+def straggler_sim():
+    """64-worker BSP data-parallel simulation with stragglers.
+
+    Exercises the event engine's lazy heap invalidation (BSP round commits
+    bump whole stages) at the largest worker count the harness tracks.
+    """
+    profile = analytic_profile("resnet50")
+    topology = cluster_a(16)  # 64 workers
+    schedule = data_parallel_schedule(64, 32, num_layers=len(profile))
+    options = SimOptions(
+        sync_mode="bsp",
+        worker_speed={3: 0.5, 17: 0.8, 40: 2.0},
+    )
+
+    def run():
+        simulate(schedule, profile, topology, options)
+
+    seconds = best_of(run)
+    return seconds, {"workers": 64, "minibatches": 32, "sync_mode": "bsp"}
+
+
+@workload("event_vs_reference_1f1b_16w")
+def event_vs_reference():
+    """The engine acceptance workload: 16-worker, 128-minibatch 1F1B.
+
+    Times both engines on the same schedule and asserts their ``OpRecord``
+    timelines are identical; the tracked number is the event engine's time,
+    with the reference time and speedup kept in the detail.
+    """
+    profile = analytic_profile("vgg16")
+    topology = cluster_a(4)
+    stages = balanced_straight_stages(profile, 16)
+    schedule = one_f_one_b_rr_schedule(stages, 128)
+
+    ref = simulate(schedule, profile, topology, engine="reference")
+    ev = simulate(schedule, profile, topology, engine="event")
+    identical = (
+        ref.records == ev.records
+        and ref.total_time == ev.total_time
+        and ref.compute_time_per_worker == ev.compute_time_per_worker
+    )
+
+    ref_seconds = best_of(
+        lambda: simulate(schedule, profile, topology, engine="reference"), 5
+    )
+    event_seconds = best_of(
+        lambda: simulate(schedule, profile, topology, engine="event"), 5
+    )
+    return event_seconds, {
+        "reference_seconds": ref_seconds,
+        "speedup": ref_seconds / event_seconds,
+        "identical_timeline": identical,
+        "workers": 16,
+        "minibatches": 128,
+    }

@@ -34,6 +34,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.profile import ModelProfile
 from repro.core.topology import Topology, TopologyLevel
 
+try:  # numpy accelerates the DP; the scalar fallback needs nothing.
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    np = None
+
 #: Layer kinds whose weight gradients accumulate across BPTT timesteps and
 #: only complete at the end of the backward pass — their all_reduce cannot
 #: overlap compute (§2.1 wait-free backprop does not apply to them).
@@ -143,6 +148,13 @@ class PipeDreamOptimizer:
             stages whose worst-case footprint (weight versions + activation
             stashes for the maximal number of in-flight minibatches) exceeds
             the capacity are rejected, as in §3.1's constraint list.
+        vectorize: when True (default) the per-level DP runs as numpy
+            min-reductions over precomputed stage-time tables instead of the
+            five-deep scalar loop nest; per-level tables are memoized across
+            :meth:`solve` calls, so worker-count sweeps reuse inner-level
+            work.  Both paths produce identical stage lists (asserted by the
+            test suite); the scalar path is kept as the reference oracle and
+            as the fallback when numpy is unavailable.
     """
 
     def __init__(
@@ -151,11 +163,19 @@ class PipeDreamOptimizer:
         topology: Topology,
         allow_replication: bool = True,
         memory_limit_bytes: Optional[float] = None,
+        vectorize: bool = True,
     ):
         self.profile = profile
         self.topology = topology
         self.allow_replication = allow_replication
         self.memory_limit_bytes = memory_limit_bytes
+        self.vectorize = vectorize and np is not None
+        #: level-table memo for the vectorized DP, keyed by the
+        #: (count, bandwidth, allreduce_bandwidth) tuple of every level up
+        #: to and including the one the table belongs to.  Subset topologies
+        #: used by worker-count sweeps share inner levels, so their tables
+        #: are computed once per optimizer instance.
+        self._level_cache: Dict[tuple, tuple] = {}
         self._n = len(profile)
         # Profiles are recorded on the reference device; slower clusters
         # (compute_scale < 1) stretch compute relative to communication, so
@@ -250,6 +270,162 @@ class PipeDreamOptimizer:
 
     def _solve_for(self, topology: Topology) -> List[Stage]:
         """Run the level-by-level DP on ``topology``; returns the stages."""
+        if self.vectorize:
+            return self._solve_for_vectorized(topology)
+        return self._solve_for_reference(topology)
+
+    def _solve_for_vectorized(self, topology: Topology) -> List[Stage]:
+        """Numpy formulation of the level-by-level DP.
+
+        Per level k the scalar recurrence
+
+            A^k(i→j, m) = min( T^k(i→j, m),
+                               min_{s, m'} max(A^k(i→s, m-m'),
+                                               2 a_s / B_k,
+                                               T^k(s+1→j, m')) )
+
+        becomes array operations: ``T[m]`` is an (n, n) stage-time table
+        built from the prefix sums (or the previous level's ``A`` table),
+        and for each m the split minimization is one ``argmin`` over a
+        (s, m') candidate cube — infeasible cells carry +inf, and the
+        (s-major, m'-minor) flattening makes ``argmin``'s first-minimum
+        rule reproduce the scalar loop's tie-break exactly.  Values are
+        selections (max/min) of identically-computed floats, so the tables
+        — and hence the reconstructed stages — match the scalar path
+        bitwise.
+        """
+        n = self._n
+        inf = math.inf
+        pt = np.asarray(self._prefix_time)
+        pw = np.asarray(self._prefix_weights)
+        pr = np.asarray(self._prefix_recurrent)
+        rows = np.arange(n)
+        valid = rows[:, None] <= rows[None, :]  # i <= j
+        if self.memory_limit_bytes is not None:
+            acts = np.array(
+                [self.profile.activation_bytes(j) for j in range(n)]
+            )
+            weights = pw[None, 1:] - pw[:n, None]
+            versions = max(1, self.topology.total_workers)
+            feasible = valid & (
+                versions * (weights + acts[None, :]) <= self.memory_limit_bytes
+            )
+        else:
+            feasible = valid
+
+        # tables[k-1] = (A, ptr_s, ptr_mp); ptr < 0 encodes "single stage".
+        tables: List[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]] = []
+        prev_capacity = 1
+        prev_workers = 1
+        key_parts: List[Tuple[int, float, float]] = []
+        for k, level in enumerate(topology.levels, start=1):
+            mk, bandwidth = level.count, level.bandwidth
+            key_parts.append((mk, bandwidth, level.allreduce_bandwidth))
+            cache_key = tuple(key_parts)
+            cached = self._level_cache.get(cache_key)
+            if cached is not None:
+                tables.append(cached)
+                prev_capacity = mk
+                prev_workers *= mk
+                continue
+
+            # ----- T^k(i→j, m) tables ---------------------------------
+            if k == 1:
+                compute = pt[None, 1:] - pt[:n, None]
+            else:
+                compute = tables[k - 2][0][prev_capacity].copy()
+            compute = np.where(feasible, compute, inf)
+            T = np.full((mk + 1, n, n), inf)
+            T[1] = compute / 1  # matches the scalar compute_term = compute/m
+            if mk > 1 and self.allow_replication:
+                W = pw[None, 1:] - pw[:n, None]
+                D = pr[None, 1:] - pr[:n, None]
+                WD = W - D
+                arbw = level.allreduce_bandwidth
+                for m in range(2, mk + 1):
+                    ring = 2.0 * (m - 1) / m / arbw
+                    round_size = m * prev_workers
+                    tm = np.maximum(compute / m, ring * WD / round_size)
+                    tm = tm + ring * D / round_size
+                    T[m] = np.where(feasible, tm, inf)
+
+            # ----- A^k recurrence -------------------------------------
+            A = np.full((mk + 1, n, n), inf)
+            ptr_s = np.full((mk + 1, n, n), -1, dtype=np.int64)
+            ptr_mp = np.full((mk + 1, n, n), -1, dtype=np.int64)
+            A[1] = T[1]
+            if n == 1:
+                for m in range(2, mk + 1):
+                    A[m] = T[m]
+            elif mk > 1:
+                boundary = np.array([
+                    2.0 * self.profile.activation_bytes(s) / bandwidth
+                    for s in range(n - 1)
+                ])
+                for m in range(2, mk + 1):
+                    # cand[mp-1, s, i, j] = max(A[m-mp][i, s], 2a_s/B,
+                    #                           T[mp][s+1, j]); out-of-range
+                    # splits (s < i or s >= j) are inf via the tables.
+                    AP = A[m - 1:0:-1]  # axis-0 index mp-1 → A[m-mp]
+                    APt = AP.transpose(0, 2, 1)[:, : n - 1, :]  # [mp, s, i]
+                    TP = T[1:m, 1:, :]  # [mp, s, j] = T[mp][s+1, j]
+                    cand = np.maximum(APt[:, :, :, None], TP[:, :, None, :])
+                    np.maximum(cand, boundary[None, :, None, None], out=cand)
+                    # s-major, m'-minor flattening: argmin's first-minimum
+                    # rule = the scalar loop's (s asc, m' asc) tie-break.
+                    cand = cand.transpose(1, 0, 2, 3).reshape(
+                        (n - 1) * (m - 1), n, n
+                    )
+                    flat = np.argmin(cand, axis=0)
+                    best_split = np.take_along_axis(cand, flat[None], axis=0)[0]
+                    use = best_split < T[m]  # strict: single stage wins ties
+                    A[m] = np.where(use, best_split, T[m])
+                    ptr_s[m] = np.where(use, flat // (m - 1), -1)
+                    ptr_mp[m] = np.where(use, flat % (m - 1) + 1, -1)
+
+            entry = (A, ptr_s, ptr_mp)
+            self._level_cache[cache_key] = entry
+            tables.append(entry)
+            prev_capacity = mk
+            prev_workers *= mk
+
+        top = len(topology.levels)
+        top_count = topology.levels[top - 1].count
+        if not math.isfinite(tables[top - 1][0][top_count, 0, n - 1]):
+            raise RuntimeError("no feasible partition found (memory limit too tight?)")
+        return self._reconstruct_arrays(tables, topology, top, 0, n - 1, top_count)
+
+    def _reconstruct_arrays(
+        self,
+        tables: Sequence[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]],
+        topology: Topology,
+        k: int,
+        i: int,
+        j: int,
+        m: int,
+    ) -> List[Stage]:
+        """:meth:`_reconstruct` over the vectorized tables."""
+        if k == 0:
+            return [Stage(i, j + 1, 1)]
+        _, ptr_s, ptr_mp = tables[k - 1]
+        s = int(ptr_s[m, i, j])
+        prev_capacity = topology.levels[k - 2].count if k >= 2 else 1
+        if s < 0:
+            inner = self._reconstruct_arrays(
+                tables, topology, k - 1, i, j, prev_capacity
+            )
+            return [Stage(st.start, st.stop, st.replicas * m) for st in inner]
+        m_prime = int(ptr_mp[m, i, j])
+        left = self._reconstruct_arrays(tables, topology, k, i, s, m - m_prime)
+        inner = self._reconstruct_arrays(
+            tables, topology, k - 1, s + 1, j, prev_capacity
+        )
+        right = [Stage(st.start, st.stop, st.replicas * m_prime) for st in inner]
+        return left + right
+
+    def _solve_for_reference(self, topology: Topology) -> List[Stage]:
+        """Scalar level-by-level DP (the oracle the vectorized path must
+        match); returns the stages."""
         n = self._n
 
         # A[k][(i, j, m)] -> (bottleneck_time, backpointer)

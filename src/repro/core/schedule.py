@@ -32,7 +32,7 @@ class OpKind(Enum):
     UPDATE = "U"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Op:
     """One scheduled operation on a worker."""
 

@@ -16,6 +16,19 @@ being simulated:
   round's update commits (data parallelism, §2.1).
 - ``"gpipe"`` — pipeline flush: forwards of batch ``k+1`` wait for batch
   ``k``'s update; optional activation recomputation inflates backwards.
+
+Two engines share one set of commit semantics (:class:`_SimCore`):
+
+- ``engine="event"`` (default) — an event-driven main loop: per-worker
+  head-op cursors, wakeup lists keyed on the exact resolution event each
+  blocked op waits for (activation/gradient arrival, forward completion,
+  update commit), and a min-heap of ready ops with lazy invalidation.
+  O(ops · log workers) commits.
+- ``engine="reference"`` — the original full-rescan loop that re-evaluates
+  every worker's head op on every commit, O(ops · workers).  Kept as the
+  equivalence oracle; both engines produce bitwise-identical
+  :class:`OpRecord` timelines (asserted by the test suite and the perf
+  harness).
 """
 
 from __future__ import annotations
@@ -23,6 +36,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.partition import RECURRENT_KINDS, Stage, allreduce_bytes_per_worker
@@ -31,8 +45,10 @@ from repro.core.schedule import Op, OpKind, Schedule
 from repro.core.topology import Topology
 from repro.sim.network import Placement, allreduce_time
 
+ENGINES = ("event", "reference")
 
-@dataclass
+
+@dataclass(slots=True)
 class SimOptions:
     """Execution semantics knobs (see module docstring)."""
 
@@ -61,7 +77,7 @@ class SimOptions:
         return self.worker_speed.get(worker, 1.0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpRecord:
     worker: int
     op: Op
@@ -71,9 +87,15 @@ class OpRecord:
 
 @dataclass
 class SimResult:
-    """Timeline and summary statistics of one simulated run."""
+    """Timeline and summary statistics of one simulated run.
 
-    records: List[OpRecord]
+    The engines log the timeline as raw ``(worker, op, start, end)``
+    tuples; :attr:`records` materializes them into :class:`OpRecord`
+    objects on first access.  Aggregate-only consumers (the sweeps and
+    strategy drivers) never pay for record construction.
+    """
+
+    raw_records: List[Tuple[int, Op, float, float]]
     total_time: float
     num_minibatches: int
     num_workers: int
@@ -81,6 +103,19 @@ class SimResult:
     channel_busy: Dict[Tuple[int, int], float]
     sync_busy: Dict[int, float]
     minibatch_done: Dict[int, float]
+    _records: Optional[List[OpRecord]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def records(self) -> List[OpRecord]:
+        recs = self._records
+        if recs is None:
+            recs = self._records = [
+                OpRecord(w, op, start, end)
+                for (w, op, start, end) in self.raw_records
+            ]
+        return recs
 
     @property
     def throughput(self) -> float:
@@ -131,252 +166,834 @@ def stage_compute_times(
     return fwd, bwd
 
 
+class _SimCore:
+    """Shared simulation state and commit semantics for both engines.
+
+    Hot-path bookkeeping uses *flattened* integer keys instead of tuples:
+    a (stage, minibatch) pair maps to ``stage * B + minibatch`` (``B`` =
+    number of minibatches), and the four dependency-resolution event
+    families are disjoint integer ranges offset by multiples of
+    ``num_stages * B``.  This avoids rebuilding ``(kind, s, b)`` tuples in
+    the inner loops and lets the event engine key its wakeup lists on plain
+    ints.
+    """
+
+    __slots__ = (
+        "schedule", "options", "stages", "last_stage", "B", "S",
+        "fwd_time", "bwd_time", "boundary_bytes",
+        "sync_duration", "sync_stream", "sync_deferred",
+        "placement", "workers", "ops_by_rank", "stage_workers_list",
+        "replicas", "round_div", "gated_forward", "pipedream_gate",
+        "is_bsp", "is_gpipe",
+        "worker_free", "speed", "channel_free", "channel_busy",
+        "nic_send_free", "nic_recv_free", "sync_free", "sync_busy",
+        "arrivals_f", "arrivals_b", "fwd_end", "bwd_start", "update_done",
+        "round_backwards", "minibatch_done", "records", "compute_time",
+        "fired", "AB_OFF", "FE_OFF", "UD_OFF", "_bw_cache",
+    )
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        profile: ModelProfile,
+        topology: Topology,
+        options: SimOptions,
+    ):
+        self.schedule = schedule
+        self.options = options
+        stages = schedule.stages
+        self.stages = stages
+        self.last_stage = len(stages) - 1
+        self.S = len(stages)
+        self.B = max(1, schedule.num_minibatches)
+        self.placement = Placement(topology)
+
+        fwd_time, bwd_time = stage_compute_times(
+            profile, stages, topology.compute_scale
+        )
+        if options.recompute_activations:
+            bwd_time = [b + f for f, b in zip(fwd_time, bwd_time)]
+        self.fwd_time = fwd_time
+        self.bwd_time = bwd_time
+
+        self.boundary_bytes = [
+            profile.activation_bytes(stage.stop - 1) for stage in stages[:-1]
+        ]
+        stage_weight_bytes = [
+            profile.weight_bytes(stage.start, stage.stop) for stage in stages
+        ]
+
+        # All_reduce duration per stage round (zero when unreplicated).  For
+        # wait-free backprop the paper's overlap only applies to gradients
+        # that are complete *during* the backward pass: conv/fc weight
+        # gradients finish when their layer's backward runs, but
+        # BPTT-accumulated kinds (LSTM, embedding) keep accumulating until
+        # the backward pass ends and therefore cannot be overlapped — the
+        # reason DP fares poorly on the paper's translation and
+        # language-modelling workloads.
+        sync_duration: List[float] = []
+        sync_stream: List[float] = []
+        sync_deferred: List[float] = []
+        for s, stage in enumerate(stages):
+            workers = schedule.stage_workers[s]
+            stream_bytes = sum(
+                l.weight_bytes
+                for l in profile.layers[stage.start : stage.stop]
+                if l.kind not in RECURRENT_KINDS
+            )
+            deferred_bytes = stage_weight_bytes[s] - stream_bytes
+            sync_stream.append(allreduce_time(self.placement, workers, stream_bytes))
+            sync_deferred.append(allreduce_time(self.placement, workers, deferred_bytes))
+            sync_duration.append(sync_stream[-1] + sync_deferred[-1])
+        self.sync_duration = sync_duration
+        self.sync_stream = sync_stream
+        self.sync_deferred = sync_deferred
+
+        # Commit-order tie-breaking follows the worker_ops iteration order.
+        self.workers = list(schedule.worker_ops)
+        self.ops_by_rank = [schedule.worker_ops[w] for w in self.workers]
+        self.stage_workers_list = [schedule.stage_workers[s] for s in range(self.S)]
+        self.replicas = [stage.replicas for stage in stages]
+
+        # Synchronization round of minibatch b at stage s is b // round_div[s]
+        # (see round semantics below); precomputed per stage.
+        if options.sync_mode == "bsp":
+            self.round_div = [1] * self.S
+        elif options.sync_mode == "gpipe":
+            self.round_div = [max(1, options.microbatches_per_batch)] * self.S
+        else:
+            self.round_div = [stage.replicas for stage in stages]
+        self.gated_forward = options.sync_mode in ("bsp", "gpipe")
+        self.pipedream_gate = options.sync_mode == "pipedream"
+        self.is_bsp = options.sync_mode == "bsp"
+        self.is_gpipe = options.sync_mode == "gpipe"
+
+        self.worker_free = {w: 0.0 for w in self.workers}
+        self.speed = {w: options.speed_of(w) for w in self.workers}
+        self.channel_free: Dict[Tuple[int, int], float] = defaultdict(float)
+        self.channel_busy: Dict[Tuple[int, int], float] = defaultdict(float)
+        self.nic_send_free: Dict[int, float] = defaultdict(float)
+        self.nic_recv_free: Dict[int, float] = defaultdict(float)
+        self.sync_free = [0.0] * self.S
+        self.sync_busy: Dict[int, float] = defaultdict(float)
+
+        self.arrivals_f: Dict[int, float] = {}
+        self.arrivals_b: Dict[int, float] = {}
+        self.fwd_end: Dict[int, float] = {}
+        self.bwd_start: Dict[int, float] = {}
+        self.update_done: Dict[int, float] = {}
+        self.round_backwards: Dict[int, List[Tuple[float, float]]] = {}
+        self.minibatch_done: Dict[int, float] = {}
+        self.records: List[Tuple[int, Op, float, float]] = []
+        self.compute_time: Dict[int, float] = defaultdict(float)
+
+        # Resolution events fired by the most recent commit, as flattened
+        # keys: arrivals_f use the raw (s, b) index, the other families are
+        # offset into disjoint ranges.
+        nk = self.S * self.B
+        self.AB_OFF = nk
+        self.FE_OFF = 2 * nk
+        self.UD_OFF = 3 * nk
+        self.fired: List[int] = []
+        self._bw_cache: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # Round semantics
+    # ------------------------------------------------------------------
+    # BSP: every worker processes (its shard of) every minibatch, so each
+    # minibatch is one collective round.  GPipe: one round per batch of
+    # microbatches.  PipeDream: replicas round-robin over minibatches, so a
+    # round is one sweep across the stage's replicas.
+
+    def _round_members(self, stage_index: int, rnd: int) -> int:
+        """How many UPDATE ops make up this round (tail rounds are short)."""
+        if self.is_bsp:
+            return self.replicas[stage_index]
+        if self.is_gpipe:
+            return 1  # the schedule emits one aggregated UPDATE per batch
+        per = self.replicas[stage_index]
+        if per == 1:
+            return 1
+        return max(1, min(per, self.schedule.num_minibatches - rnd * per))
+
+    # ------------------------------------------------------------------
+    # Readiness
+    # ------------------------------------------------------------------
+    def _ready(self, worker: int, op: Op) -> Optional[float]:
+        """Earliest start for ``op``, or None if a dependency is unresolved."""
+        t = self.worker_free[worker]
+        kind = op.kind
+        if kind is OpKind.UPDATE:
+            # UPDATE runs right after its backward on the same worker.
+            return t
+        s = op.stage
+        sB = s * self.B
+        b = op.minibatch
+        if kind is OpKind.FORWARD:
+            if s > 0:
+                arrival = self.arrivals_f.get(sB + b)
+                if arrival is None:
+                    return None
+                if arrival > t:
+                    t = arrival
+            if self.gated_forward:
+                rnd = b // self.round_div[s]
+                if rnd > 0:
+                    gate = self.update_done.get(sB + rnd - 1)
+                    if gate is None:
+                        return None
+                    if gate > t:
+                        t = gate
+            return t
+        # BACKWARD
+        if s == self.last_stage:
+            end = self.fwd_end.get(sB + b)
+            if end is None:
+                return None
+            if end > t:
+                t = end
+        else:
+            arrival = self.arrivals_b.get(sB + b)
+            if arrival is None:
+                return None
+            if arrival > t:
+                t = arrival
+        if self.pipedream_gate and self.replicas[s] > 1:
+            rnd = b // self.round_div[s]
+            if rnd >= 2:
+                gate = self.update_done.get(sB + rnd - 2)
+                if gate is None:
+                    return None
+                if gate > t:
+                    t = gate
+        return t
+
+    def _ready_or_key(self, worker: int, op: Op) -> Tuple[Optional[float], Optional[int]]:
+        """Like :meth:`_ready` but reports *which* event a blocked op awaits.
+
+        Returns ``(start, None)`` when ready, else ``(None, key)`` where
+        ``key`` is the flattened id of the first unresolved dependency — the
+        event engine parks the worker on that key's wakeup list.  A blocked
+        op may have several unresolved dependencies; re-evaluation on wakeup
+        walks them one at a time, which is correct because dependencies only
+        ever resolve (they never un-resolve).
+        """
+        t = self.worker_free[worker]
+        kind = op.kind
+        if kind is OpKind.UPDATE:
+            return t, None
+        s = op.stage
+        sB = s * self.B
+        b = op.minibatch
+        if kind is OpKind.FORWARD:
+            if s > 0:
+                arrival = self.arrivals_f.get(sB + b)
+                if arrival is None:
+                    return None, sB + b
+                if arrival > t:
+                    t = arrival
+            if self.gated_forward:
+                rnd = b // self.round_div[s]
+                if rnd > 0:
+                    gate = self.update_done.get(sB + rnd - 1)
+                    if gate is None:
+                        return None, self.UD_OFF + sB + rnd - 1
+                    if gate > t:
+                        t = gate
+            return t, None
+        # BACKWARD
+        if s == self.last_stage:
+            end = self.fwd_end.get(sB + b)
+            if end is None:
+                return None, self.FE_OFF + sB + b
+            if end > t:
+                t = end
+        else:
+            arrival = self.arrivals_b.get(sB + b)
+            if arrival is None:
+                return None, self.AB_OFF + sB + b
+            if arrival > t:
+                t = arrival
+        if self.pipedream_gate and self.replicas[s] > 1:
+            rnd = b // self.round_div[s]
+            if rnd >= 2:
+                gate = self.update_done.get(sB + rnd - 2)
+                if gate is None:
+                    return None, self.UD_OFF + sB + rnd - 2
+                if gate > t:
+                    t = gate
+        return t, None
+
+    # ------------------------------------------------------------------
+    # Commit semantics (identical for both engines)
+    # ------------------------------------------------------------------
+    def execute(self, worker: int, op: Op, start: float) -> float:
+        s = op.stage
+        b = op.minibatch
+        sB = s * self.B
+        kind = op.kind
+        if kind is OpKind.FORWARD:
+            dur = self.fwd_time[s] / self.speed[worker]
+            end = start + dur
+            self.fwd_end[sB + b] = end
+            if s == self.last_stage:
+                # Only the last stage's own backward waits on forward
+                # completion; other stages' forwards gate nothing directly.
+                self.fired.append(self.FE_OFF + sB + b)
+            self.compute_time[worker] += dur
+            if s < self.last_stage:
+                group = self.stage_workers_list[s + 1]
+                dst = group[b % len(group)]
+                self._send(worker, dst, self.boundary_bytes[s], end,
+                           self.arrivals_f, sB + self.B + b, 0)
+            self.worker_free[worker] = end
+        elif kind is OpKind.BACKWARD:
+            dur = self.bwd_time[s] / self.speed[worker]
+            end = start + dur
+            self.bwd_start[sB + b] = start
+            self.compute_time[worker] += dur
+            if s > 0:
+                group = self.stage_workers_list[s - 1]
+                dst = group[b % len(group)]
+                self._send(worker, dst, self.boundary_bytes[s - 1], end,
+                           self.arrivals_b, sB - self.B + b, self.AB_OFF)
+            else:
+                self.minibatch_done[b] = end
+            self.worker_free[worker] = end
+        else:  # UPDATE
+            end = self._execute_update(worker, op, start)
+        self.records.append((worker, op, start, end))
+        return end
+
+    def _link_bandwidth(self, src: int, dst: int) -> float:
+        cached = self._bw_cache.get((src, dst))
+        if cached is None:
+            cached = self.placement.link_bandwidth(src, dst)
+            self._bw_cache[(src, dst)] = cached
+        return cached
+
+    def _send(self, src: int, dst: int, num_bytes: float, ready: float,
+              arrivals: Dict[int, float], key: int, fire_offset: int) -> None:
+        if src == dst or num_bytes <= 0:
+            arrivals[key] = ready
+            self.fired.append(fire_offset + key)
+            return
+        duration = num_bytes / self._link_bandwidth(src, dst)
+        begin = max(ready, self.channel_free[(src, dst)])
+        if self.options.nic_contention:
+            begin = max(begin, self.nic_send_free[src], self.nic_recv_free[dst])
+            self.nic_send_free[src] = begin + duration
+            self.nic_recv_free[dst] = begin + duration
+        self.channel_free[(src, dst)] = begin + duration
+        self.channel_busy[(src, dst)] += duration
+        arrivals[key] = begin + duration
+        self.fired.append(fire_offset + key)
+
+    def _execute_update(self, worker: int, op: Op, start: float) -> float:
+        s = op.stage
+        b = op.minibatch
+        rnd = b // self.round_div[s]
+        sBr = s * self.B + rnd
+        is_bsp = self.is_bsp
+        if is_bsp:
+            members = self.replicas[s]
+        elif self.is_gpipe or self.replicas[s] == 1:
+            members = 1
+        else:
+            per = self.replicas[s]
+            members = max(1, min(per, self.schedule.num_minibatches - rnd * per))
+        if members == 1 and not is_bsp:
+            # Single-member round (straight 1F1B, GPipe): the general path
+            # below specialized to one backward — sync starts when it ends.
+            duration = self.sync_duration[s]
+            sync_free = self.sync_free[s]
+            done = (start if start >= sync_free else sync_free) + duration
+            self.sync_free[s] = done
+            self.sync_busy[s] += duration
+            self.update_done[sBr] = done
+            self.fired.append(self.UD_OFF + sBr)
+            self.worker_free[worker] = start  # async commit; not blocked
+            return start if duration == 0 else done
+        bwd_start = self.bwd_start.get(s * self.B + b, start)
+        backwards = self.round_backwards.get(sBr)
+        if backwards is None:
+            backwards = self.round_backwards[sBr] = []
+        backwards.append((bwd_start, start))
+        if len(backwards) < members:
+            # Not the last replica of the round: update commits later, the
+            # worker moves on (the round's completion is handled below).
+            self.worker_free[worker] = start
+            return start
+        starts = [x[0] for x in backwards]
+        ends = [x[1] for x in backwards]
+        duration = self.sync_duration[s]
+        if is_bsp:
+            # Wait-free backprop: streamable gradients overlap the backward
+            # pass; BPTT-deferred gradients only start when it ends.
+            sync_start = max(max(starts), self.sync_free[s])
+            done = max(max(ends), sync_start + self.sync_stream[s]) + self.sync_deferred[s]
+        else:
+            sync_start = max(max(ends), self.sync_free[s])
+            done = sync_start + duration
+        self.sync_free[s] = done
+        self.sync_busy[s] += duration
+        self.update_done[sBr] = done
+        self.fired.append(self.UD_OFF + sBr)
+        if is_bsp:
+            # Blocking: every replica of the stage resumes after commit.
+            for w in self.stage_workers_list[s]:
+                if self.worker_free[w] < done:
+                    self.worker_free[w] = done
+            return done
+        self.worker_free[worker] = start  # async commit; worker not blocked
+        return start if duration == 0 else done
+
+    # ------------------------------------------------------------------
+    # Engines
+    # ------------------------------------------------------------------
+    def _deadlock(self, pointers: Dict[int, int]) -> RuntimeError:
+        stuck = {
+            w: self.schedule.worker_ops[w][pointers[w]]
+            for w in self.schedule.worker_ops
+            if pointers[w] < len(self.schedule.worker_ops[w])
+        }
+        return RuntimeError(f"simulation deadlocked; blocked ops: {stuck}")
+
+    def run_reference(self) -> None:
+        """Original O(total_ops × workers) loop: commit the globally
+        earliest ready op, rescanning every worker's head op each time."""
+        pointers = {w: 0 for w in self.workers}
+        total_ops = sum(len(ops) for ops in self.ops_by_rank)
+        committed = 0
+        fired = self.fired
+        while committed < total_ops:
+            best_worker = None
+            best_time = math.inf
+            for rank, worker in enumerate(self.workers):
+                ops = self.ops_by_rank[rank]
+                idx = pointers[worker]
+                if idx >= len(ops):
+                    continue
+                t = self._ready(worker, ops[idx])
+                if t is not None and t < best_time:
+                    best_time = t
+                    best_worker = worker
+            if best_worker is None:
+                raise self._deadlock(pointers)
+            op = self.schedule.worker_ops[best_worker][pointers[best_worker]]
+            fired.clear()
+            self.execute(best_worker, op, best_time)
+            pointers[best_worker] += 1
+            committed += 1
+
+    def run_event(self) -> None:
+        """Event-driven loop: a min-heap of ready head ops plus wakeup
+        lists keyed on resolution events.
+
+        Invariant: every worker with remaining ops is either in the heap
+        (head op ready when enqueued) or parked on exactly one wakeup list
+        (head op blocked on that event).  Heap entries can only go stale
+        when a BSP round commit pushes ``worker_free`` forward for a whole
+        stage; in BSP mode popping re-validates against the current ready
+        time and re-pushes when the entry was optimistic (lazy
+        invalidation).  In the other modes a worker's ready time is frozen
+        while it sits in the heap (its dependencies are resolved and its
+        own ``worker_free`` only moves when it commits), so no
+        re-validation is needed.  Dependencies resolve monotonically, so a
+        ready op never becomes blocked and a ready time never decreases —
+        the heap minimum therefore matches the reference engine's
+        full-rescan minimum, and (time, rank) ordering reproduces its
+        first-wins tie-break exactly.
+
+        The commit path is a locals-bound inline of :meth:`execute` /
+        :meth:`_ready_or_key` — identical expressions, so the arithmetic
+        (and hence the timeline) is bitwise-identical to the reference
+        engine, which the test suite asserts.
+        """
+        workers = self.workers
+        ops_by_rank = self.ops_by_rank
+        nworkers = len(workers)
+        pointers = [0] * nworkers
+        lengths = [len(ops) for ops in ops_by_rank]
+        total_ops = sum(lengths)
+        heap: List[Tuple[float, int]] = []
+        waiters: Dict[int, List[int]] = {}
+
+        B = self.B
+        last_stage = self.last_stage
+        worker_free = self.worker_free
+        arrivals_f = self.arrivals_f
+        arrivals_b = self.arrivals_b
+        fwd_end = self.fwd_end
+        bwd_start = self.bwd_start
+        update_done = self.update_done
+        round_div = self.round_div
+        replicas = self.replicas
+        gated_forward = self.gated_forward
+        pipedream_gate = self.pipedream_gate
+        fwd_time = self.fwd_time
+        bwd_time = self.bwd_time
+        boundary_bytes = self.boundary_bytes
+        stage_workers_list = self.stage_workers_list
+        speed = self.speed
+        compute_time = self.compute_time
+        minibatch_done = self.minibatch_done
+        fired = self.fired
+        AB_OFF = self.AB_OFF
+        FE_OFF = self.FE_OFF
+        UD_OFF = self.UD_OFF
+        FORWARD = OpKind.FORWARD
+        UPDATE = OpKind.UPDATE
+        execute_update = self._execute_update
+        append_record = self.records.append
+        bsp = self.options.sync_mode == "bsp"
+        nic_contention = self.options.nic_contention
+        sync_duration = self.sync_duration
+        sync_free = self.sync_free
+        sync_busy = self.sync_busy
+        # Stages whose UPDATE commit takes the single-member non-BSP fast
+        # path unconditionally (straight 1F1B pipelines, GPipe).
+        update_simple = [
+            not self.is_bsp and (self.is_gpipe or r == 1) for r in self.replicas
+        ]
+        channel_free = self.channel_free
+        channel_busy = self.channel_busy
+        nic_send_free = self.nic_send_free
+        nic_recv_free = self.nic_recv_free
+        bw_cache = self._bw_cache
+        link_bandwidth = self.placement.link_bandwidth
+
+        def head_ready(rank: int) -> Tuple[Optional[float], Optional[int]]:
+            """(start, None) when the head op is ready, else (None, key)."""
+            op = ops_by_rank[rank][pointers[rank]]
+            t = worker_free[workers[rank]]
+            kind = op.kind
+            if kind is UPDATE:
+                return t, None
+            s = op.stage
+            sB = s * B
+            b = op.minibatch
+            if kind is FORWARD:
+                if s > 0:
+                    arrival = arrivals_f.get(sB + b)
+                    if arrival is None:
+                        return None, sB + b
+                    if arrival > t:
+                        t = arrival
+                if gated_forward:
+                    rnd = b // round_div[s]
+                    if rnd > 0:
+                        gate = update_done.get(sB + rnd - 1)
+                        if gate is None:
+                            return None, UD_OFF + sB + rnd - 1
+                        if gate > t:
+                            t = gate
+                return t, None
+            if s == last_stage:
+                end = fwd_end.get(sB + b)
+                if end is None:
+                    return None, FE_OFF + sB + b
+                if end > t:
+                    t = end
+            else:
+                arrival = arrivals_b.get(sB + b)
+                if arrival is None:
+                    return None, AB_OFF + sB + b
+                if arrival > t:
+                    t = arrival
+            if pipedream_gate:
+                rnd = b // round_div[s]
+                if rnd >= 2 and replicas[s] > 1:
+                    gate = update_done.get(sB + rnd - 2)
+                    if gate is None:
+                        return None, UD_OFF + sB + rnd - 2
+                    if gate > t:
+                        t = gate
+            return t, None
+
+        pd_gated = [pipedream_gate and r > 1 for r in self.replicas]
+        group_len = [len(g) for g in stage_workers_list]
+
+        def enqueue(
+            rank: int,
+            af_get=arrivals_f.get,
+            ab_get=arrivals_b.get,
+            fe_get=fwd_end.get,
+            ud_get=update_done.get,
+            w_get=waiters.get,
+        ) -> Optional[Tuple[float, int]]:
+            """Readiness check for ``rank``'s head op (inline of
+            :meth:`_ready_or_key`): return a heap candidate ``(t, rank)``
+            when ready, else park the rank on its blocking event."""
+            op = ops_by_rank[rank][pointers[rank]]
+            t = worker_free[workers[rank]]
+            kind = op.kind
+            if kind is not UPDATE:
+                s = op.stage
+                sB = s * B
+                b = op.minibatch
+                if kind is FORWARD:
+                    if s > 0:
+                        arrival = af_get(sB + b)
+                        if arrival is None:
+                            key = sB + b
+                            bucket = w_get(key)
+                            if bucket is None:
+                                waiters[key] = [rank]
+                            else:
+                                bucket.append(rank)
+                            return None
+                        if arrival > t:
+                            t = arrival
+                    if gated_forward:
+                        rnd = b // round_div[s]
+                        if rnd > 0:
+                            gate = ud_get(sB + rnd - 1)
+                            if gate is None:
+                                key = UD_OFF + sB + rnd - 1
+                                bucket = w_get(key)
+                                if bucket is None:
+                                    waiters[key] = [rank]
+                                else:
+                                    bucket.append(rank)
+                                return None
+                            if gate > t:
+                                t = gate
+                else:  # BACKWARD
+                    if s == last_stage:
+                        end = fe_get(sB + b)
+                        if end is None:
+                            key = FE_OFF + sB + b
+                            bucket = w_get(key)
+                            if bucket is None:
+                                waiters[key] = [rank]
+                            else:
+                                bucket.append(rank)
+                            return None
+                        if end > t:
+                            t = end
+                    else:
+                        arrival = ab_get(sB + b)
+                        if arrival is None:
+                            key = AB_OFF + sB + b
+                            bucket = w_get(key)
+                            if bucket is None:
+                                waiters[key] = [rank]
+                            else:
+                                bucket.append(rank)
+                            return None
+                        if arrival > t:
+                            t = arrival
+                    if pd_gated[s]:
+                        rnd = b // round_div[s]
+                        if rnd >= 2:
+                            gate = ud_get(sB + rnd - 2)
+                            if gate is None:
+                                key = UD_OFF + sB + rnd - 2
+                                bucket = w_get(key)
+                                if bucket is None:
+                                    waiters[key] = [rank]
+                                else:
+                                    bucket.append(rank)
+                                return None
+                            if gate > t:
+                                t = gate
+            return (t, rank)
+
+        for rank in range(nworkers):
+            if lengths[rank]:
+                cand = enqueue(rank)
+                if cand is not None:
+                    heappush(heap, cand)
+
+        committed = 0
+        nxt: Optional[Tuple[float, int]] = None
+        while committed < total_ops:
+            if nxt is not None:
+                # Fast lane: the previous commit's own next op was already
+                # known to precede everything in the heap — skip push+pop.
+                t, rank = nxt
+                nxt = None
+            else:
+                if not heap:
+                    raise self._deadlock(
+                        {w: pointers[r] for r, w in enumerate(workers)})
+                t, rank = heappop(heap)
+                if bsp:
+                    current, key = head_ready(rank)
+                    if current is None:  # defensive; deps never un-resolve
+                        waiters.setdefault(key, []).append(rank)
+                        continue
+                    if current > t:
+                        heappush(heap, (current, rank))  # stale after a BSP bump
+                        continue
+                    t = current
+            worker = workers[rank]
+            op = ops_by_rank[rank][pointers[rank]]
+            kind = op.kind
+            s = op.stage
+            b = op.minibatch
+            sB = s * B
+            wake_key = -1
+            if kind is UPDATE:
+                if update_simple[s]:
+                    # Inline of _execute_update's single-member fast path
+                    # (identical arithmetic).
+                    rd = round_div[s]
+                    rnd = b if rd == 1 else b // rd
+                    sBr = sB + rnd
+                    duration = sync_duration[s]
+                    sf = sync_free[s]
+                    done = (t if t >= sf else sf) + duration
+                    sync_free[s] = done
+                    sync_busy[s] += duration
+                    update_done[sBr] = done
+                    wake_key = UD_OFF + sBr
+                    worker_free[worker] = t
+                    end = t if duration == 0 else done
+                else:
+                    del fired[:]
+                    end = execute_update(worker, op, t)
+                    if fired:
+                        wake_key = fired[0]
+            elif kind is FORWARD:
+                dur = fwd_time[s] / speed[worker]
+                end = t + dur
+                fwd_end[sB + b] = end
+                compute_time[worker] += dur
+                worker_free[worker] = end
+                if s < last_stage:
+                    # Inline of _send (identical arithmetic): ship the
+                    # activation to the downstream replica.
+                    akey = sB + B + b
+                    dst = stage_workers_list[s + 1][b % group_len[s + 1]]
+                    nbytes = boundary_bytes[s]
+                    if worker == dst or nbytes <= 0:
+                        arrivals_f[akey] = end
+                    else:
+                        ch = (worker, dst)
+                        bw = bw_cache.get(ch)
+                        if bw is None:
+                            bw = bw_cache[ch] = link_bandwidth(worker, dst)
+                        duration = nbytes / bw
+                        cf = channel_free[ch]
+                        begin = end if end >= cf else cf
+                        if nic_contention:
+                            begin = max(begin, nic_send_free[worker],
+                                        nic_recv_free[dst])
+                            nic_send_free[worker] = begin + duration
+                            nic_recv_free[dst] = begin + duration
+                        channel_free[ch] = begin + duration
+                        channel_busy[ch] += duration
+                        arrivals_f[akey] = begin + duration
+                    wake_key = akey
+                else:
+                    # Only the last stage's own backward waits on forward
+                    # completion.
+                    wake_key = FE_OFF + sB + b
+            else:  # BACKWARD
+                dur = bwd_time[s] / speed[worker]
+                end = t + dur
+                bwd_start[sB + b] = t
+                compute_time[worker] += dur
+                worker_free[worker] = end
+                if s > 0:
+                    # Inline of _send: ship the gradient upstream.
+                    akey = sB - B + b
+                    dst = stage_workers_list[s - 1][b % group_len[s - 1]]
+                    nbytes = boundary_bytes[s - 1]
+                    if worker == dst or nbytes <= 0:
+                        arrivals_b[akey] = end
+                    else:
+                        ch = (worker, dst)
+                        bw = bw_cache.get(ch)
+                        if bw is None:
+                            bw = bw_cache[ch] = link_bandwidth(worker, dst)
+                        duration = nbytes / bw
+                        cf = channel_free[ch]
+                        begin = end if end >= cf else cf
+                        if nic_contention:
+                            begin = max(begin, nic_send_free[worker],
+                                        nic_recv_free[dst])
+                            nic_send_free[worker] = begin + duration
+                            nic_recv_free[dst] = begin + duration
+                        channel_free[ch] = begin + duration
+                        channel_busy[ch] += duration
+                        arrivals_b[akey] = begin + duration
+                    wake_key = AB_OFF + akey
+                else:
+                    minibatch_done[b] = end
+            append_record((worker, op, t, end))
+            idx = pointers[rank] + 1
+            pointers[rank] = idx
+            committed += 1
+            if idx < lengths[rank]:
+                nop = ops_by_rank[rank][idx]
+                if nop.kind is UPDATE:
+                    # UPDATE heads are unconditionally ready at worker_free.
+                    own = (worker_free[worker], rank)
+                else:
+                    own = enqueue(rank)
+            else:
+                own = None
+            if wake_key >= 0:
+                woken = waiters.pop(wake_key, None)
+                if woken is not None:
+                    # Keep `own` as the minimum of this commit's fresh
+                    # candidates; losers go straight to the heap.
+                    for other in woken:
+                        cand = enqueue(other)
+                        if cand is not None:
+                            if own is None or cand < own:
+                                if own is not None:
+                                    heappush(heap, own)
+                                own = cand
+                            else:
+                                heappush(heap, cand)
+            if own is not None:
+                # `own` was computed after this commit, so it is fresh even
+                # in BSP mode; taking it directly when it precedes the heap
+                # minimum reproduces heappush+heappop ordering exactly
+                # (ranks are unique, so ties are impossible).
+                if not heap or own < heap[0]:
+                    nxt = own
+                else:
+                    heappush(heap, own)
+
+    def result(self) -> SimResult:
+        total_time = max((r[3] for r in self.records), default=0.0)
+        return SimResult(
+            raw_records=self.records,
+            total_time=total_time,
+            num_minibatches=self.schedule.num_minibatches,
+            num_workers=self.schedule.num_workers,
+            compute_time_per_worker=dict(self.compute_time),
+            channel_busy=dict(self.channel_busy),
+            sync_busy=dict(self.sync_busy),
+            minibatch_done=self.minibatch_done,
+        )
+
+
 def simulate(
     schedule: Schedule,
     profile: ModelProfile,
     topology: Topology,
     options: Optional[SimOptions] = None,
+    engine: str = "event",
 ) -> SimResult:
-    """Execute ``schedule`` with the cluster's cost model; see module doc."""
+    """Execute ``schedule`` with the cluster's cost model; see module doc.
+
+    ``engine`` selects the main loop: ``"event"`` (default, event-driven)
+    or ``"reference"`` (the original full-rescan oracle).  Both produce
+    identical timelines; the reference engine exists for equivalence
+    testing and perf baselines.
+    """
     options = options or SimOptions()
-    stages = schedule.stages
-    placement = Placement(topology)
-    fwd_time, bwd_time = stage_compute_times(profile, stages, topology.compute_scale)
-    if options.recompute_activations:
-        bwd_time = [b + f for f, b in zip(fwd_time, bwd_time)]
-
-    boundary_bytes = [
-        profile.activation_bytes(stage.stop - 1) for stage in stages[:-1]
-    ]
-    stage_weight_bytes = [
-        profile.weight_bytes(stage.start, stage.stop) for stage in stages
-    ]
-    last_stage = len(stages) - 1
-
-    # All_reduce duration per stage round (zero when unreplicated).  For
-    # wait-free backprop the paper's overlap only applies to gradients that
-    # are complete *during* the backward pass: conv/fc weight gradients
-    # finish when their layer's backward runs, but BPTT-accumulated kinds
-    # (LSTM, embedding) keep accumulating until the backward pass ends and
-    # therefore cannot be overlapped — the reason DP fares poorly on the
-    # paper's translation and language-modelling workloads.
-    sync_duration: List[float] = []
-    sync_stream: List[float] = []
-    sync_deferred: List[float] = []
-    for s, stage in enumerate(stages):
-        workers = schedule.stage_workers[s]
-        stream_bytes = sum(
-            l.weight_bytes
-            for l in profile.layers[stage.start : stage.stop]
-            if l.kind not in RECURRENT_KINDS
-        )
-        deferred_bytes = stage_weight_bytes[s] - stream_bytes
-        sync_stream.append(allreduce_time(placement, workers, stream_bytes))
-        sync_deferred.append(allreduce_time(placement, workers, deferred_bytes))
-        sync_duration.append(sync_stream[-1] + sync_deferred[-1])
-
-    # ------------------------------------------------------------------
-    # Simulation state
-    # ------------------------------------------------------------------
-    pointers = {w: 0 for w in schedule.worker_ops}
-    worker_free = {w: 0.0 for w in schedule.worker_ops}
-    channel_free: Dict[Tuple[int, int], float] = defaultdict(float)
-    channel_busy: Dict[Tuple[int, int], float] = defaultdict(float)
-    nic_send_free: Dict[int, float] = defaultdict(float)
-    nic_recv_free: Dict[int, float] = defaultdict(float)
-    sync_free = [0.0] * len(stages)
-    sync_busy: Dict[int, float] = defaultdict(float)
-
-    arrivals_f: Dict[Tuple[int, int], float] = {}
-    arrivals_b: Dict[Tuple[int, int], float] = {}
-    op_end: Dict[Tuple[OpKind, int, int], float] = {}
-    op_start: Dict[Tuple[OpKind, int, int], float] = {}
-    update_done: Dict[Tuple[int, int], float] = {}
-    round_backwards: Dict[Tuple[int, int], List[Tuple[float, float]]] = defaultdict(list)
-    minibatch_done: Dict[int, float] = {}
-    records: List[OpRecord] = []
-    compute_time_per_worker: Dict[int, float] = defaultdict(float)
-
-    def round_of(stage_index: int, minibatch: int) -> int:
-        """Synchronization round a minibatch's update belongs to.
-
-        BSP: every worker processes (its shard of) every minibatch, so each
-        minibatch is one collective round.  GPipe: one round per batch of
-        microbatches.  PipeDream: replicas round-robin over minibatches, so
-        a round is one sweep across the stage's replicas.
-        """
-        if options.sync_mode == "bsp":
-            return minibatch
-        if options.sync_mode == "gpipe":
-            return minibatch // max(1, options.microbatches_per_batch)
-        return minibatch // stages[stage_index].replicas
-
-    def round_members(stage_index: int, rnd: int) -> int:
-        """How many UPDATE ops make up this round (tail rounds are short)."""
-        if options.sync_mode == "bsp":
-            return stages[stage_index].replicas
-        if options.sync_mode == "gpipe":
-            return 1  # the schedule emits one aggregated UPDATE per batch
-        per = stages[stage_index].replicas
-        return max(1, min(per, schedule.num_minibatches - rnd * per))
-
-    def ready_time(worker: int, op: Op) -> Optional[float]:
-        """Earliest start for ``op``, or None if a dependency is unresolved."""
-        t = worker_free[worker]
-        s, b = op.stage, op.minibatch
-        if op.kind == OpKind.FORWARD:
-            if s > 0:
-                arrival = arrivals_f.get((s, b))
-                if arrival is None:
-                    return None
-                t = max(t, arrival)
-            rnd = round_of(s, b)
-            if options.sync_mode == "bsp" and rnd > 0:
-                gate = update_done.get((s, rnd - 1))
-                if gate is None:
-                    return None
-                t = max(t, gate)
-            if options.sync_mode == "gpipe" and rnd > 0:
-                gate = update_done.get((s, rnd - 1))
-                if gate is None:
-                    return None
-                t = max(t, gate)
-            return t
-        if op.kind == OpKind.BACKWARD:
-            if s == last_stage:
-                end = op_end.get((OpKind.FORWARD, s, b))
-                if end is None:
-                    return None
-                t = max(t, end)
-            else:
-                arrival = arrivals_b.get((s, b))
-                if arrival is None:
-                    return None
-                t = max(t, arrival)
-            if options.sync_mode == "pipedream":
-                rnd = round_of(s, b)
-                if rnd >= 2 and stages[s].replicas > 1:
-                    gate = update_done.get((s, rnd - 2))
-                    if gate is None:
-                        return None
-                    t = max(t, gate)
-            return t
-        # UPDATE: runs right after its backward on the same worker.
-        return t
-
-    def execute(worker: int, op: Op, start: float) -> float:
-        s, b = op.stage, op.minibatch
-        speed = options.speed_of(worker)
-        if op.kind == OpKind.FORWARD:
-            end = start + fwd_time[s] / speed
-            op_end[(OpKind.FORWARD, s, b)] = end
-            op_start[(OpKind.FORWARD, s, b)] = start
-            compute_time_per_worker[worker] += fwd_time[s] / speed
-            if s < last_stage:
-                dst = schedule.replica_for(s + 1, b)
-                _send(worker, dst, boundary_bytes[s], end, arrivals_f, (s + 1, b))
-            worker_free[worker] = end
-        elif op.kind == OpKind.BACKWARD:
-            end = start + bwd_time[s] / speed
-            op_end[(OpKind.BACKWARD, s, b)] = end
-            op_start[(OpKind.BACKWARD, s, b)] = start
-            compute_time_per_worker[worker] += bwd_time[s] / speed
-            if s > 0:
-                dst = schedule.replica_for(s - 1, b)
-                _send(worker, dst, boundary_bytes[s - 1], end, arrivals_b, (s - 1, b))
-            else:
-                minibatch_done[b] = end
-            worker_free[worker] = end
-        else:  # UPDATE
-            end = _execute_update(worker, op, start)
-        records.append(OpRecord(worker, op, start, end))
-        return end
-
-    def _send(src: int, dst: int, num_bytes: float, ready: float,
-              arrivals: Dict, key: Tuple[int, int]) -> None:
-        if src == dst or num_bytes <= 0:
-            arrivals[key] = ready
-            return
-        bandwidth = placement.link_bandwidth(src, dst)
-        duration = num_bytes / bandwidth
-        begin = max(ready, channel_free[(src, dst)])
-        if options.nic_contention:
-            begin = max(begin, nic_send_free[src], nic_recv_free[dst])
-            nic_send_free[src] = begin + duration
-            nic_recv_free[dst] = begin + duration
-        channel_free[(src, dst)] = begin + duration
-        channel_busy[(src, dst)] += duration
-        arrivals[key] = begin + duration
-
-    def _execute_update(worker: int, op: Op, start: float) -> float:
-        s, b = op.stage, op.minibatch
-        rnd = round_of(s, b)
-        bwd_start = op_start.get((OpKind.BACKWARD, s, b), start)
-        round_backwards[(s, rnd)].append((bwd_start, start))
-        members = round_members(s, rnd)
-        if len(round_backwards[(s, rnd)]) < members:
-            # Not the last replica of the round: update commits later, the
-            # worker moves on (the round's completion is handled below).
-            worker_free[worker] = start
-            return start
-        starts = [x[0] for x in round_backwards[(s, rnd)]]
-        ends = [x[1] for x in round_backwards[(s, rnd)]]
-        duration = sync_duration[s]
-        if options.sync_mode == "bsp":
-            # Wait-free backprop: streamable gradients overlap the backward
-            # pass; BPTT-deferred gradients only start when it ends.
-            sync_start = max(max(starts), sync_free[s])
-            done = max(max(ends), sync_start + sync_stream[s]) + sync_deferred[s]
-        else:
-            sync_start = max(max(ends), sync_free[s])
-            done = sync_start + duration
-        sync_free[s] = done
-        sync_busy[s] += duration
-        update_done[(s, rnd)] = done
-        if options.sync_mode in ("bsp",):
-            # Blocking: every replica of the stage resumes after commit.
-            for w in schedule.stage_workers[s]:
-                worker_free[w] = max(worker_free[w], done)
-            return done
-        worker_free[worker] = start  # async commit; worker not blocked
-        return start if duration == 0 else done
-
-    # ------------------------------------------------------------------
-    # Main loop: repeatedly commit the globally earliest ready op.
-    # ------------------------------------------------------------------
-    total_ops = sum(len(ops) for ops in schedule.worker_ops.values())
-    committed = 0
-    while committed < total_ops:
-        best_worker = None
-        best_time = math.inf
-        for worker, ops in schedule.worker_ops.items():
-            idx = pointers[worker]
-            if idx >= len(ops):
-                continue
-            t = ready_time(worker, ops[idx])
-            if t is not None and t < best_time:
-                best_time = t
-                best_worker = worker
-        if best_worker is None:
-            stuck = {
-                w: schedule.worker_ops[w][pointers[w]]
-                for w in schedule.worker_ops
-                if pointers[w] < len(schedule.worker_ops[w])
-            }
-            raise RuntimeError(f"simulation deadlocked; blocked ops: {stuck}")
-        op = schedule.worker_ops[best_worker][pointers[best_worker]]
-        execute(best_worker, op, best_time)
-        pointers[best_worker] += 1
-        committed += 1
-
-    total_time = max((r.end for r in records), default=0.0)
-    return SimResult(
-        records=records,
-        total_time=total_time,
-        num_minibatches=schedule.num_minibatches,
-        num_workers=schedule.num_workers,
-        compute_time_per_worker=dict(compute_time_per_worker),
-        channel_busy=dict(channel_busy),
-        sync_busy=dict(sync_busy),
-        minibatch_done=minibatch_done,
-    )
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    core = _SimCore(schedule, profile, topology, options)
+    if engine == "event":
+        core.run_event()
+    else:
+        core.run_reference()
+    return core.result()

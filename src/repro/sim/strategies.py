@@ -58,6 +58,7 @@ def simulate_data_parallel(
     profile: ModelProfile,
     topology: Topology,
     num_minibatches: int = 16,
+    engine: str = "event",
 ) -> StrategyResult:
     """BSP data parallelism with wait-free backprop (§2.1).
 
@@ -67,7 +68,8 @@ def simulate_data_parallel(
     """
     workers = topology.total_workers
     schedule = data_parallel_schedule(workers, num_minibatches, num_layers=len(profile))
-    sim = simulate(schedule, profile, topology, SimOptions(sync_mode="bsp"))
+    sim = simulate(schedule, profile, topology, SimOptions(sync_mode="bsp"),
+                   engine=engine)
     # One simulated iteration = one minibatch per worker, so the run covers
     # ``num_minibatches * workers`` actual minibatches.
     samples = num_minibatches * profile.batch_size * workers
@@ -93,6 +95,7 @@ def simulate_model_parallel(
     topology: Topology,
     stages: Optional[Sequence[Stage]] = None,
     num_minibatches: int = 16,
+    engine: str = "event",
 ) -> StrategyResult:
     """Vanilla model parallelism (Figure 2): no pipelining, one in flight."""
     if stages is None:
@@ -100,7 +103,8 @@ def simulate_model_parallel(
     schedule = model_parallel_schedule(
         len(stages), num_minibatches, layer_bounds=[(s.start, s.stop) for s in stages]
     )
-    sim = simulate(schedule, profile, topology, SimOptions(sync_mode="pipedream"))
+    sim = simulate(schedule, profile, topology, SimOptions(sync_mode="pipedream"),
+                   engine=engine)
     samples = num_minibatches * profile.batch_size
     total_bytes = communication_bytes_per_minibatch(profile, list(stages)) * num_minibatches
     return StrategyResult(
@@ -124,6 +128,7 @@ def simulate_gpipe(
     num_batches: int = 8,
     num_microbatches: int = 4,
     recompute: bool = True,
+    engine: str = "event",
 ) -> StrategyResult:
     """GPipe-style inter-batch pipelining with flushes (§2.2, Figure 3).
 
@@ -146,7 +151,7 @@ def simulate_gpipe(
         recompute_activations=recompute,
         microbatches_per_batch=num_microbatches,
     )
-    sim = simulate(schedule, micro_profile, topology, options)
+    sim = simulate(schedule, micro_profile, topology, options, engine=engine)
     samples = num_batches * profile.batch_size
     total_bytes = (
         communication_bytes_per_minibatch(micro_profile, list(stages))
@@ -177,11 +182,13 @@ def simulate_partition(
     num_minibatches: int = 16,
     noam: Optional[int] = None,
     strategy_name: str = "pipedream",
+    engine: str = "event",
 ) -> StrategyResult:
     """Simulate an explicit PipeDream partition with the 1F1B-RR schedule."""
     stages = list(stages)
     schedule = one_f_one_b_rr_schedule(stages, num_minibatches, noam=noam)
-    sim = simulate(schedule, profile, topology, SimOptions(sync_mode="pipedream"))
+    sim = simulate(schedule, profile, topology, SimOptions(sync_mode="pipedream"),
+                   engine=engine)
     samples = num_minibatches * profile.batch_size
     total_bytes = communication_bytes_per_minibatch(profile, stages) * num_minibatches
     config = (
@@ -209,16 +216,29 @@ def simulate_pipedream(
     topology: Topology,
     num_minibatches: int = 16,
     allow_replication: bool = True,
+    optimizer: Optional[PipeDreamOptimizer] = None,
+    engine: str = "event",
 ) -> StrategyResult:
     """Run the optimizer, then simulate its chosen configuration.
 
     When the optimizer picks vanilla data parallelism (ResNet-50's case in
     Table 1), the DP simulation (BSP semantics) is used directly.
+
+    Pass a shared ``optimizer`` (built on the *full* cluster with the same
+    profile) to reuse its memoized DP tables across worker counts — the
+    sweep harness does this; ``solve`` is then called for this topology's
+    worker count.
     """
-    optimizer = PipeDreamOptimizer(profile, topology, allow_replication=allow_replication)
-    plan = optimizer.solve()
+    if optimizer is None:
+        optimizer = PipeDreamOptimizer(
+            profile, topology, allow_replication=allow_replication
+        )
+        plan = optimizer.solve()
+    else:
+        plan = optimizer.solve(topology.total_workers)
     if plan.is_data_parallel:
-        result = simulate_data_parallel(profile, topology, num_minibatches)
+        result = simulate_data_parallel(profile, topology, num_minibatches,
+                                        engine=engine)
         return StrategyResult(
             strategy="pipedream",
             config=result.config,
@@ -231,7 +251,8 @@ def simulate_pipedream(
             sim=result.sim,
             samples_per_minibatch=result.samples_per_minibatch,
         )
-    return simulate_partition(profile, topology, plan.stages, num_minibatches, plan.noam)
+    return simulate_partition(profile, topology, plan.stages, num_minibatches,
+                              plan.noam, engine=engine)
 
 
 # ----------------------------------------------------------------------

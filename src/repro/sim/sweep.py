@@ -12,6 +12,7 @@ import io
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.core.partition import PipeDreamOptimizer
 from repro.core.topology import Topology
 from repro.profiler import analytic_profile
 from repro.sim.strategies import (
@@ -23,14 +24,14 @@ from repro.sim.strategies import (
 )
 
 STRATEGIES: Dict[str, Callable] = {
-    "dp": lambda profile, topo, m: simulate_data_parallel(
-        profile, topo, num_minibatches=max(4, m // 4)),
-    "pipedream": lambda profile, topo, m: simulate_pipedream(
-        profile, topo, num_minibatches=m),
-    "mp": lambda profile, topo, m: simulate_model_parallel(
-        profile, topo, num_minibatches=max(4, m // 4)),
-    "gpipe": lambda profile, topo, m: simulate_gpipe(
-        profile, topo, num_batches=max(2, m // 8)),
+    "dp": lambda profile, topo, m, **kw: simulate_data_parallel(
+        profile, topo, num_minibatches=max(4, m // 4), **kw),
+    "pipedream": lambda profile, topo, m, **kw: simulate_pipedream(
+        profile, topo, num_minibatches=m, **kw),
+    "mp": lambda profile, topo, m, **kw: simulate_model_parallel(
+        profile, topo, num_minibatches=max(4, m // 4), **kw),
+    "gpipe": lambda profile, topo, m, **kw: simulate_gpipe(
+        profile, topo, num_batches=max(2, m // 8), **kw),
 }
 
 
@@ -56,22 +57,35 @@ def run_sweep(
     strategies: Sequence[str] = ("dp", "pipedream"),
     device: str = "v100",
     minibatches: int = 48,
+    engine: str = "event",
 ) -> List[SweepRecord]:
-    """Simulate every combination; skips worker counts that don't pack."""
+    """Simulate every combination; skips worker counts that don't pack.
+
+    One :class:`PipeDreamOptimizer` is built per model on the full
+    topology and shared across the worker-count loop, so the partitioner's
+    memoized level tables are reused by every ``solve`` of the sweep.
+    """
     unknown = set(strategies) - set(STRATEGIES)
     if unknown:
         raise ValueError(f"unknown strategies: {sorted(unknown)}")
     records: List[SweepRecord] = []
     for model in models:
         profile = analytic_profile(model, device=device)
+        optimizer = (
+            PipeDreamOptimizer(profile, topology)
+            if "pipedream" in strategies else None
+        )
         for workers in worker_counts:
             try:
                 sub = topology.subset(workers)
             except ValueError:
                 continue
             for strategy in strategies:
+                kwargs = {"engine": engine}
+                if strategy == "pipedream":
+                    kwargs["optimizer"] = optimizer
                 result: StrategyResult = STRATEGIES[strategy](
-                    profile, sub, minibatches)
+                    profile, sub, minibatches, **kwargs)
                 records.append(SweepRecord(
                     model=model,
                     cluster=topology.name,

@@ -1,0 +1,188 @@
+"""The event-driven engine is an optimization, not a semantic change.
+
+Every scenario here runs the same schedule through ``engine="reference"``
+(the original rescan loop) and ``engine="event"`` (heap + wakeup lists)
+and asserts bitwise-identical results: the full OpRecord timeline, the
+aggregate busy/sync accounting, and the per-minibatch completion times.
+The hypothesis case fuzzes profiles, stragglers, and NIC contention on
+top of the hand-picked regressions.
+
+A second group pins the vectorized partitioner DP to the scalar
+reference: same stages, same bottleneck time, same config string, for
+every paper model and the edge cases (no replication, memory limits,
+worker subsets, hierarchical topologies).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import PipeDreamOptimizer, Stage
+from repro.core.profile import LayerProfile, ModelProfile
+from repro.core.schedule import (
+    data_parallel_schedule,
+    gpipe_schedule,
+    model_parallel_schedule,
+    one_f_one_b_rr_schedule,
+    one_f_one_b_schedule,
+)
+from repro.core.topology import cluster_a, cluster_b, make_cluster
+from repro.profiler import analytic_profile
+from repro.sim.executor import SimOptions, simulate
+from repro.sim.strategies import balanced_straight_stages
+
+VGG = analytic_profile("vgg16")
+TOPO_A = cluster_a(4)
+
+
+def assert_engines_identical(sched, profile, topo, options=None):
+    ref = simulate(sched, profile, topo, options, engine="reference")
+    evt = simulate(sched, profile, topo, options, engine="event")
+    assert evt.records == ref.records
+    assert evt.total_time == ref.total_time
+    assert evt.channel_busy == ref.channel_busy
+    assert evt.sync_busy == ref.sync_busy
+    assert evt.compute_time_per_worker == ref.compute_time_per_worker
+    assert evt.minibatch_done == ref.minibatch_done
+
+
+STAGES_16 = balanced_straight_stages(VGG, 16)
+
+SCENARIOS = {
+    "straight_1f1b_16w": lambda: (
+        one_f_one_b_rr_schedule(STAGES_16, 32), VGG, TOPO_A, None),
+    "rr_15_1": lambda: (
+        one_f_one_b_rr_schedule([Stage(0, 14, 15), Stage(14, len(VGG), 1)], 48),
+        VGG, TOPO_A, None),
+    "rr_8_8": lambda: (
+        one_f_one_b_rr_schedule([Stage(0, 10, 8), Stage(10, len(VGG), 8)], 48),
+        VGG, TOPO_A, None),
+    "bsp_data_parallel": lambda: (
+        data_parallel_schedule(16, 24, num_layers=len(VGG)), VGG, TOPO_A,
+        SimOptions(sync_mode="bsp")),
+    "gpipe_recompute": lambda: (
+        gpipe_schedule(4, 6, 4), VGG, make_cluster("t4", 4, 1, 1e9, 1e9),
+        SimOptions(sync_mode="gpipe", microbatches_per_batch=4,
+                   recompute_activations=True)),
+    "model_parallel": lambda: (
+        model_parallel_schedule(4, 12), VGG,
+        make_cluster("t4", 4, 1, 1e9, 1e9), None),
+    "straggler_1f1b": lambda: (
+        one_f_one_b_rr_schedule(STAGES_16, 32), VGG, TOPO_A,
+        SimOptions(worker_speed={3: 0.5, 7: 2.0})),
+    "nic_contention_1f1b": lambda: (
+        one_f_one_b_rr_schedule(STAGES_16, 32), VGG, TOPO_A,
+        SimOptions(nic_contention=True)),
+    "bsp_straggler_nic_cluster_b": lambda: (
+        data_parallel_schedule(8, 16, num_layers=len(VGG)), VGG, cluster_b(1),
+        SimOptions(sync_mode="bsp", worker_speed={0: 0.7},
+                   nic_contention=True)),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_engine_matches_reference(scenario):
+    sched, profile, topo, options = SCENARIOS[scenario]()
+    assert_engines_identical(sched, profile, topo, options)
+
+
+class TestEngineMatchesReferenceFuzzed:
+    @given(
+        compute=st.lists(st.floats(0.5, 20.0, allow_nan=False), min_size=4,
+                         max_size=4),
+        act=st.integers(0, 500),
+        weights=st.integers(0, 500),
+        minibatches=st.integers(1, 12),
+        straggler=st.floats(0.25, 4.0, allow_nan=False),
+        nic=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_1f1b_fuzz(self, compute, act, weights, minibatches, straggler,
+                       nic):
+        layers = [LayerProfile(f"l{i}", c, act, weights)
+                  for i, c in enumerate(compute)]
+        profile = ModelProfile("fuzz", layers, batch_size=1)
+        topo = make_cluster("t4", 4, 1, 50.0, 50.0)
+        options = SimOptions(worker_speed={1: straggler},
+                             nic_contention=nic)
+        assert_engines_identical(
+            one_f_one_b_schedule(4, minibatches), profile, topo, options)
+
+    @given(
+        compute=st.lists(st.floats(0.5, 20.0, allow_nan=False), min_size=2,
+                         max_size=2),
+        weights=st.integers(0, 2000),
+        minibatches=st.integers(1, 10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bsp_fuzz(self, compute, weights, minibatches):
+        layers = [LayerProfile(f"l{i}", c, 0, weights)
+                  for i, c in enumerate(compute)]
+        profile = ModelProfile("fuzz", layers, batch_size=1)
+        topo = make_cluster("t4", 4, 1, 25.0, 25.0)
+        assert_engines_identical(
+            data_parallel_schedule(4, minibatches, num_layers=2), profile,
+            topo, SimOptions(sync_mode="bsp"))
+
+
+# ----------------------------------------------------------------------
+# Vectorized partitioner DP vs the scalar reference.
+# ----------------------------------------------------------------------
+
+PAPER_MODELS = ("vgg16", "resnet50", "alexnet", "gnmt16", "gnmt8",
+                "awd-lm", "s2vt", "mask-rcnn", "ssd")
+
+
+def assert_plans_identical(profile, topo, num_workers=None, **kwargs):
+    vec = PipeDreamOptimizer(profile, topo, vectorize=True, **kwargs)
+    ref = PipeDreamOptimizer(profile, topo, vectorize=False, **kwargs)
+    pv = vec.solve(num_workers)
+    pr = ref.solve(num_workers)
+    assert pv.stages == pr.stages
+    assert pv.slowest_stage_time == pr.slowest_stage_time
+    assert pv.config_string == pr.config_string
+    assert pv.num_workers == pr.num_workers
+    return pv
+
+
+@pytest.mark.parametrize("model", PAPER_MODELS)
+def test_vectorized_plan_matches_scalar(model):
+    assert_plans_identical(analytic_profile(model), TOPO_A)
+
+
+def test_vectorized_no_replication(toy_profile, flat4):
+    assert_plans_identical(toy_profile, flat4, allow_replication=False)
+
+
+def test_vectorized_two_level(toy_profile, two_level):
+    assert_plans_identical(toy_profile, two_level)
+
+
+@pytest.mark.parametrize("num_workers", [2, 3, 4, 8])
+def test_vectorized_worker_subsets(num_workers):
+    assert_plans_identical(analytic_profile("gnmt8"), TOPO_A, num_workers)
+
+
+def test_vectorized_memory_limit(toy_profile, flat4):
+    # Generous limit: feasible in both, identical plans.
+    assert_plans_identical(toy_profile, flat4, memory_limit_bytes=1e9)
+    # Impossibly tight limit: both paths must agree it is infeasible.
+    vec = PipeDreamOptimizer(toy_profile, flat4, vectorize=True,
+                             memory_limit_bytes=1.0)
+    ref = PipeDreamOptimizer(toy_profile, flat4, vectorize=False,
+                             memory_limit_bytes=1.0)
+    with pytest.raises(RuntimeError):
+        vec.solve()
+    with pytest.raises(RuntimeError):
+        ref.solve()
+
+
+def test_memoized_solver_matches_cold_solves():
+    """One optimizer reused across worker counts == fresh solves."""
+    profile = analytic_profile("vgg16")
+    shared = PipeDreamOptimizer(profile, TOPO_A)
+    for workers in (4, 8, 12, 16):
+        warm = shared.solve(workers)
+        cold = PipeDreamOptimizer(profile, TOPO_A).solve(workers)
+        assert warm.stages == cold.stages
+        assert warm.slowest_stage_time == cold.slowest_stage_time

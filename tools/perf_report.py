@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Refresh BENCH_perf.json: run the perf workloads and record the results.
+
+Usage:
+    python tools/perf_report.py            # run, print table, write report
+    python tools/perf_report.py --dry-run  # run + print, don't write
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+from perf import REPORT_PATH, load_report, run_all, write_report  # noqa: E402
+
+
+def print_results(results: dict, previous: dict | None) -> None:
+    name_w = max(len(name) for name in results)
+    print(f"{'workload':<{name_w}}  {'seconds':>10}  {'previous':>10}  {'ratio':>6}")
+    for name, entry in results.items():
+        prev = (previous or {}).get(name, {}).get("seconds")
+        prev_text = f"{prev:.4f}" if prev else "-"
+        ratio = f"{entry['seconds'] / prev:.2f}x" if prev else "-"
+        print(
+            f"{name:<{name_w}}  {entry['seconds']:>10.4f}  {prev_text:>10}  {ratio:>6}"
+        )
+
+
+def main(argv: list[str]) -> int:
+    dry_run = "--dry-run" in argv
+    previous = None
+    if REPORT_PATH.exists():
+        previous = load_report().get("workloads", {})
+    results = run_all()
+    print_results(results, previous)
+    if dry_run:
+        print("\n--dry-run: BENCH_perf.json not written")
+        return 0
+    path = write_report(results)
+    print(f"\nwrote {path.relative_to(ROOT)}")
+    speed = results.get("event_vs_reference_1f1b_16w", {}).get("detail", {})
+    if speed:
+        print(
+            f"event engine: {speed['speedup']:.2f}x over reference, "
+            f"identical timeline: {speed['identical_timeline']}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

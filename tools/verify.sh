@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Single verification entry point: tier-1 tests + the perf-regression gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== perf gate (vs BENCH_perf.json) =="
+python tools/check_perf.py "$@"
