@@ -14,9 +14,10 @@ from perf.harness import best_of, workload
 from repro.core.partition import PipeDreamOptimizer
 from repro.core.schedule import data_parallel_schedule, one_f_one_b_rr_schedule
 from repro.core.topology import cluster_a
-from repro.profiler import analytic_profile
+from repro.profiler import analytic_profile, clear_profile_cache
 from repro.sim.executor import SimOptions, simulate
 from repro.sim.strategies import balanced_straight_stages, simulate_pipedream
+from repro.sim.sweep import run_sweep
 
 #: The seven models of the paper's evaluation (§5.1, Table 1/2).
 PAPER_MODELS = ("vgg16", "resnet50", "alexnet", "gnmt16", "gnmt8", "awd-lm", "s2vt")
@@ -137,4 +138,99 @@ def event_vs_reference():
         "identical_timeline": identical,
         "workers": 16,
         "minibatches": 128,
+    }
+
+
+@workload("gnmt16_deep_pipeline_solve_32w")
+def gnmt16_deep_pipeline_solve():
+    """The hardest solve the paper reports: GNMT-16 on 32 workers.
+
+    The deep encoder-decoder stack drives the DP toward a long straight
+    pipeline, the worst case for the per-split evaluator loop.  Times the
+    vectorized solve and asserts it agrees with the scalar reference.
+    """
+    profile = analytic_profile("gnmt16")
+    topology = cluster_a(8)  # 32 workers
+    plan = PipeDreamOptimizer(profile, topology, vectorize=True).solve()
+    scalar = PipeDreamOptimizer(profile, topology, vectorize=False).solve()
+    seconds = best_of(
+        lambda: PipeDreamOptimizer(profile, topology, vectorize=True).solve()
+    )
+    return seconds, {
+        "workers": 32,
+        "config": plan.config_string,
+        "matches_scalar": (
+            plan.stages == scalar.stages
+            and plan.slowest_stage_time == scalar.slowest_stage_time
+        ),
+    }
+
+
+@workload("memory_limited_solve_vgg16_16w")
+def memory_limited_solve():
+    """VGG-16 at 16 workers under an *active* memory cap.
+
+    7 GB/worker is feasible but binding (the unconstrained 15-1 plan's
+    input stage stashes 16 weight versions and overflows it), so the DP
+    must price out candidate splits via ``_memory_ok`` on every level —
+    the feasibility-filter hot path the unconstrained solves never touch.
+    """
+    profile = analytic_profile("vgg16")
+    topology = cluster_a(4)
+    limit = 7e9
+    free_plan = PipeDreamOptimizer(profile, topology).solve()
+    capped = PipeDreamOptimizer(profile, topology, memory_limit_bytes=limit)
+    plan = capped.solve()
+    scalar_plan = PipeDreamOptimizer(
+        profile, topology, memory_limit_bytes=limit, vectorize=False
+    ).solve()
+    seconds = best_of(
+        lambda: PipeDreamOptimizer(
+            profile, topology, memory_limit_bytes=limit
+        ).solve()
+    )
+    return seconds, {
+        "workers": 16,
+        "memory_limit_gb": limit / 1e9,
+        "config": plan.config_string,
+        "constraint_active": plan.stages != free_plan.stages,
+        "matches_scalar": plan.stages == scalar_plan.stages,
+    }
+
+
+@workload("full_sweep_7models")
+def full_sweep():
+    """The headline sweep: 7 paper models x {4,8,16} workers x {dp, pd}.
+
+    The tracked number is the optimized serial path (vectorized evaluator
+    + profile cache); the detail keeps the scalar/cold baseline measured
+    once per harness run, the speedup over it (the issue's >= 3x
+    acceptance bar), and bitwise-equality flags for both the scalar
+    baseline and a 2-worker parallel run against the serial records.
+    """
+    topology = cluster_a(4)
+    counts = (4, 8, 16)
+    import time as _time
+
+    clear_profile_cache()
+    t0 = _time.perf_counter()
+    baseline = run_sweep(PAPER_MODELS, topology, counts, workers=1,
+                         vectorize=False, profile_cache=False)
+    baseline_seconds = _time.perf_counter() - t0
+
+    clear_profile_cache()
+    serial = run_sweep(PAPER_MODELS, topology, counts, workers=1)
+    parallel = run_sweep(PAPER_MODELS, topology, counts, workers=2,
+                         executor="thread")
+    seconds = best_of(
+        lambda: run_sweep(PAPER_MODELS, topology, counts, workers=1)
+    )
+    return seconds, {
+        "models": len(PAPER_MODELS),
+        "worker_counts": list(counts),
+        "baseline_seconds": baseline_seconds,
+        "speedup_vs_scalar_cold": baseline_seconds / seconds,
+        "speedup_at_least_3x": baseline_seconds >= 3.0 * seconds,
+        "identical_to_scalar_baseline": serial == baseline,
+        "parallel_identical_to_serial": parallel == serial,
     }

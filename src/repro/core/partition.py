@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import itertools
 import math
+import threading
 import time
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -245,9 +247,16 @@ class PipeDreamOptimizer:
         if topology.num_levels > 1:
             candidates.append(self._solve_for(topology.flat()))
         # Note: the evaluator applies the topology's compute scale itself,
-        # so the raw (reference-device) profile is passed here.
+        # so the raw (reference-device) profile is passed here.  The
+        # evaluator path follows the optimizer's own vectorize flag so the
+        # scalar optimizer remains a pure-scalar reference end to end.
         scored = [
-            (evaluate_partition_on_topology(self.profile, stages, topology), stages)
+            (
+                evaluate_partition_on_topology(
+                    self.profile, stages, topology, vectorize=self.vectorize
+                ),
+                stages,
+            )
             for stages in candidates
         ]
         best_cost = min(cost for cost, _ in scored)
@@ -639,10 +648,100 @@ def _check_stages(profile: ModelProfile, stages: Sequence[Stage]) -> None:
             raise ValueError("stages must be contiguous")
 
 
+class _EvalTables:
+    """Prefix-sum tables shared by both topology-evaluator paths.
+
+    Built once per :class:`ModelProfile` (cached in a weak-keyed registry)
+    so sweep-scale callers stop re-summing layer lists per plan.  Prefix
+    sums are accumulated sequentially, so both paths read identical floats:
+    byte counts are integers well below 2**53 and therefore exact in
+    float64, and compute-time range sums become the same prefix difference
+    the DP itself uses.
+    """
+
+    __slots__ = ("prefix_time", "prefix_weights", "prefix_recurrent", "acts",
+                 "np_time", "np_weights", "np_recurrent", "np_acts")
+
+    def __init__(self, profile: ModelProfile):
+        pt, pw, pr = [0.0], [0.0], [0.0]
+        acts: List[float] = []
+        for layer in profile:
+            pt.append(pt[-1] + layer.compute_time)
+            pw.append(pw[-1] + layer.weight_bytes)
+            recurrent = layer.weight_bytes if layer.kind in RECURRENT_KINDS else 0
+            pr.append(pr[-1] + recurrent)
+            acts.append(float(layer.activation_bytes))
+        self.prefix_time = pt
+        self.prefix_weights = pw
+        self.prefix_recurrent = pr
+        self.acts = acts
+        if np is not None:
+            self.np_time = np.asarray(pt)
+            self.np_weights = np.asarray(pw)
+            self.np_recurrent = np.asarray(pr)
+            self.np_acts = np.asarray(acts)
+
+
+_EVAL_TABLES_LOCK = threading.Lock()
+_EVAL_TABLES: "weakref.WeakKeyDictionary[ModelProfile, _EvalTables]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _eval_tables(profile: ModelProfile) -> _EvalTables:
+    with _EVAL_TABLES_LOCK:
+        tables = _EVAL_TABLES.get(profile)
+        if tables is None:
+            tables = _EVAL_TABLES[profile] = _EvalTables(profile)
+        return tables
+
+
+@dataclass(frozen=True)
+class PartitionEvaluation:
+    """Per-stage breakdown of :func:`evaluate_partition_on_topology`.
+
+    ``stage_times[i]`` is the effective per-minibatch time of stage ``i``
+    (amortized compute vs. all_reduce); ``boundary_times[i]`` the
+    point-to-point transfer between stages ``i`` and ``i+1``.
+    """
+
+    bottleneck_time: float
+    stage_times: Tuple[float, ...]
+    boundary_times: Tuple[float, ...]
+
+    @property
+    def bottleneck_stage(self) -> int:
+        """Index of the slowest stage (first one on ties)."""
+        return self.stage_times.index(max(self.stage_times))
+
+
+def evaluate_partition_details(
+    profile: ModelProfile,
+    stages: Sequence[Stage],
+    topology: Topology,
+    vectorize: bool = True,
+) -> PartitionEvaluation:
+    """Like :func:`evaluate_partition_on_topology` with the full breakdown.
+
+    ``vectorize=True`` (default, requires numpy) computes every stage from
+    the cached prefix tables with array arithmetic; ``vectorize=False`` is
+    the scalar reference twin that walks the placement/all_reduce model of
+    :mod:`repro.sim.network` stage by stage.  Both paths evaluate the exact
+    same float expressions, so their results are bitwise identical
+    (asserted by ``tests/test_partition_evaluator_equiv.py``).
+    """
+    _check_stages(profile, stages)
+    tables = _eval_tables(profile)
+    if vectorize and np is not None:
+        return _evaluate_details_vectorized(tables, stages, topology)
+    return _evaluate_details_scalar(tables, stages, topology)
+
+
 def evaluate_partition_on_topology(
     profile: ModelProfile,
     stages: Sequence[Stage],
     topology: Topology,
+    vectorize: bool = True,
 ) -> float:
     """Bottleneck time per minibatch of a stage list on a real topology.
 
@@ -652,41 +751,120 @@ def evaluate_partition_on_topology(
     group per round of ``replicas`` minibatches (with the non-overlappable
     BPTT portion charged additively); stage boundaries pay a point-to-point
     transfer at the bandwidth of the link between adjacent groups.
+
+    ``vectorize`` selects the numpy fast path or its scalar reference twin
+    (see :func:`evaluate_partition_details`).
     """
+    return evaluate_partition_details(
+        profile, stages, topology, vectorize=vectorize
+    ).bottleneck_time
+
+
+def _evaluate_details_scalar(
+    tables: _EvalTables, stages: Sequence[Stage], topology: Topology
+) -> PartitionEvaluation:
+    """Scalar reference path: placement objects + per-stage loops."""
     from repro.sim.network import Placement, allreduce_time
 
-    _check_stages(profile, stages)
     placement = Placement(topology)
-    worst = 0.0
     scale = topology.compute_scale
+    pt, pw, pr = tables.prefix_time, tables.prefix_weights, tables.prefix_recurrent
+    acts = tables.acts
     next_worker = 0
     groups = []
     for stage in stages:
         groups.append(list(range(next_worker, next_worker + stage.replicas)))
         next_worker += stage.replicas
+    stage_times: List[float] = []
+    boundary_times: List[float] = []
     for idx, stage in enumerate(stages):
         r = stage.replicas
-        compute = profile.compute_time(stage.start, stage.stop) / scale
+        compute = (pt[stage.stop] - pt[stage.start]) / scale
         cost = compute / r
         if r > 1:
-            weights = profile.weight_bytes(stage.start, stage.stop)
-            deferred = sum(
-                l.weight_bytes
-                for l in profile.layers[stage.start : stage.stop]
-                if l.kind in RECURRENT_KINDS
-            )
+            weights = pw[stage.stop] - pw[stage.start]
+            deferred = pr[stage.stop] - pr[stage.start]
             stream = allreduce_time(placement, groups[idx], weights - deferred)
             blocked = allreduce_time(placement, groups[idx], deferred)
             cost = max(cost, stream / r) + blocked / r
-        worst = max(worst, cost)
+        stage_times.append(cost)
         if idx + 1 < len(stages):
             src = groups[idx][-1]
             dst = groups[idx + 1][0]
             bandwidth = placement.link_bandwidth(src, dst)
-            worst = max(
-                worst, 2.0 * profile.activation_bytes(stage.stop - 1) / bandwidth
+            boundary_times.append(2.0 * acts[stage.stop - 1] / bandwidth)
+    worst = max(max(stage_times), max(boundary_times, default=0.0))
+    return PartitionEvaluation(worst, tuple(stage_times), tuple(boundary_times))
+
+
+def _evaluate_details_vectorized(
+    tables: _EvalTables, stages: Sequence[Stage], topology: Topology
+) -> PartitionEvaluation:
+    """Numpy path: all stages at once from the cached prefix tables.
+
+    Worker groups are contiguous ranges (stage-major packing), so the
+    placement queries reduce to integer arithmetic: a contiguous group
+    ``[first, last]`` spans ``last//W_k - first//W_k + 1`` level-k
+    components (``W_k`` = workers per level-k component), and the boundary
+    link between adjacent groups crosses the outermost level whose
+    component ids differ between workers ``dst-1`` and ``dst``.  The float
+    expressions mirror :func:`repro.sim.network.allreduce_time` and the
+    scalar twin exactly, term for term, so results match bitwise.
+    """
+    levels = topology.levels
+    scale = topology.compute_scale
+    S = len(stages)
+    starts = np.fromiter((s.start for s in stages), dtype=np.int64, count=S)
+    stops = np.fromiter((s.stop for s in stages), dtype=np.int64, count=S)
+    reps = np.fromiter((s.replicas for s in stages), dtype=np.int64, count=S)
+
+    compute = (tables.np_time[stops] - tables.np_time[starts]) / scale
+    cost = compute / reps
+    if bool((reps > 1).any()):
+        weights = tables.np_weights[stops] - tables.np_weights[starts]
+        deferred = tables.np_recurrent[stops] - tables.np_recurrent[starts]
+        gfirst = np.cumsum(reps) - reps
+        glast = gfirst + reps - 1
+        # Per-level component spans of each contiguous group.
+        spans = []
+        per_component = 1
+        for level in levels:
+            spans.append(glast // per_component - gfirst // per_component + 1)
+            per_component *= level.count
+        stream = np.zeros(S)
+        blocked = np.zeros(S)
+        prev_span = reps
+        for k, level in enumerate(levels):
+            span_above = spans[k + 1] if k + 1 < len(spans) else np.ones(S, dtype=np.int64)
+            group = np.maximum(1, np.round(prev_span / np.maximum(1, span_above)))
+            ring = 2.0 * (group - 1) / group
+            arbw = level.allreduce_bandwidth
+            stream = stream + ring * (weights - deferred) / arbw
+            blocked = blocked + ring * deferred / arbw
+            prev_span = span_above
+        cost = np.where(
+            reps > 1, np.maximum(cost, stream / reps) + blocked / reps, cost
+        )
+    stage_times = tuple(cost.tolist())
+
+    boundary_times: Tuple[float, ...] = ()
+    if S > 1:
+        dst = (np.cumsum(reps) - reps)[1:]  # first worker of each next group
+        src = dst - 1
+        crossing = np.zeros(S - 1, dtype=np.int64)
+        per_component = 1
+        for k, level in enumerate(levels):
+            crossing = np.where(
+                src // per_component != dst // per_component, k, crossing
             )
-    return worst
+            per_component *= level.count
+        bw = np.asarray([level.bandwidth for level in levels])[crossing]
+        boundary = 2.0 * tables.np_acts[stops[:-1] - 1] / bw
+        boundary_times = tuple(boundary.tolist())
+        worst = max(max(stage_times), max(boundary_times))
+    else:
+        worst = max(stage_times)
+    return PartitionEvaluation(worst, stage_times, boundary_times)
 
 
 # ----------------------------------------------------------------------

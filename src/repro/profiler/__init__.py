@@ -17,6 +17,8 @@ from repro.profiler.analytic import (
     ANALYTIC_MODELS,
     analytic_profile,
     available_models,
+    clear_profile_cache,
+    profile_cache_stats,
 )
 
 __all__ = [
@@ -24,5 +26,7 @@ __all__ = [
     "profile_model",
     "analytic_profile",
     "available_models",
+    "clear_profile_cache",
+    "profile_cache_stats",
     "ANALYTIC_MODELS",
 ]

@@ -18,8 +18,9 @@ R-CNN (R50-FPN) for the Table 3 MLPerf comparison.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.core.profile import LayerProfile, ModelProfile
 
@@ -295,11 +296,43 @@ def available_models() -> List[str]:
     return sorted(ANALYTIC_MODELS)
 
 
+# ----------------------------------------------------------------------
+# Profile cache
+# ----------------------------------------------------------------------
+# Analytic profiles are deterministic functions of their arguments, and
+# sweep-scale callers (every strategy cell of ``run_sweep``) used to rebuild
+# them per call.  The cache is keyed on the full argument tuple — distinct
+# ``(model, batch_size, device, bytes_per_element)`` keys never collide —
+# and guarded by a lock for thread-based sweeps.  Process-based sweeps are
+# safe by construction: each worker process holds its own module-level
+# cache, so there is no cross-process mutable state to corrupt.  Cached
+# profiles are shared objects; every consumer in this repo treats
+# :class:`ModelProfile` as immutable (``scaled``/``with_precision`` return
+# copies), and callers that do want a private instance pass ``cache=False``.
+
+_ProfileKey = Tuple[str, int, str, int]
+_PROFILE_CACHE: Dict[_ProfileKey, ModelProfile] = {}
+_PROFILE_CACHE_LOCK = threading.Lock()
+
+
+def clear_profile_cache() -> None:
+    """Drop every cached analytic profile (perf baselines, tests)."""
+    with _PROFILE_CACHE_LOCK:
+        _PROFILE_CACHE.clear()
+
+
+def profile_cache_stats() -> Dict[str, int]:
+    """Current cache occupancy, keyed for test introspection."""
+    with _PROFILE_CACHE_LOCK:
+        return {"entries": len(_PROFILE_CACHE)}
+
+
 def analytic_profile(
     model_name: str,
     batch_size: int = 0,
     device: str = "v100",
     bytes_per_element: int = 4,
+    cache: bool = True,
 ) -> ModelProfile:
     """Build the (T_l, a_l, w_l) profile of a full-size paper model.
 
@@ -308,11 +341,20 @@ def analytic_profile(
         batch_size: per-GPU minibatch; 0 selects the paper's §5.1 value.
         device: ``"v100"``, ``"1080ti"``, or ``"titanx"``.
         bytes_per_element: 4 for fp32, 2 for fp16 (Figure 12).
+        cache: when True (default) identical argument tuples return one
+            shared (treat-as-immutable) profile instance; ``False`` always
+            builds a fresh copy.
     """
     if model_name not in ANALYTIC_MODELS:
         raise KeyError(f"unknown model {model_name!r}; have {available_models()}")
     generator, default_batch = ANALYTIC_MODELS[model_name]
     batch = batch_size or default_batch
+    key = (model_name, batch, device, bytes_per_element)
+    if cache:
+        with _PROFILE_CACHE_LOCK:
+            hit = _PROFILE_CACHE.get(key)
+        if hit is not None:
+            return hit
     layers = []
     for layer in generator():
         compute = _compute_time(layer, batch, device)
@@ -326,5 +368,11 @@ def analytic_profile(
                 kind=layer.kind,
             )
         )
-    return ModelProfile(model_name, layers, batch_size=batch,
-                        bytes_per_element=bytes_per_element)
+    built = ModelProfile(model_name, layers, batch_size=batch,
+                         bytes_per_element=bytes_per_element)
+    if cache:
+        with _PROFILE_CACHE_LOCK:
+            # A racing thread may have built the same profile; keep the
+            # first so "same key -> same object" holds for every caller.
+            built = _PROFILE_CACHE.setdefault(key, built)
+    return built

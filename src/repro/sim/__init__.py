@@ -12,7 +12,14 @@ from repro.sim.network import Placement, allreduce_time, transfer_time
 from repro.sim.executor import SimOptions, SimResult, OpRecord, simulate
 from repro.sim.memory import pipeline_memory_footprint, data_parallel_memory_footprint
 from repro.sim.trace import chrome_trace_events, export_chrome_trace
-from repro.sim.sweep import SweepRecord, records_to_csv, run_sweep, speedup_table
+from repro.sim.sweep import (
+    SweepError,
+    SweepFailure,
+    SweepRecord,
+    records_to_csv,
+    run_sweep,
+    speedup_table,
+)
 from repro.sim.strategies import (
     StrategyResult,
     simulate_data_parallel,
@@ -35,6 +42,8 @@ __all__ = [
     "chrome_trace_events",
     "export_chrome_trace",
     "SweepRecord",
+    "SweepError",
+    "SweepFailure",
     "run_sweep",
     "records_to_csv",
     "speedup_table",

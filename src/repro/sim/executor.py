@@ -189,7 +189,7 @@ class _SimCore:
         "nic_send_free", "nic_recv_free", "sync_free", "sync_busy",
         "arrivals_f", "arrivals_b", "fwd_end", "bwd_start", "update_done",
         "round_backwards", "minibatch_done", "records", "compute_time",
-        "fired", "AB_OFF", "FE_OFF", "UD_OFF", "_bw_cache",
+        "fired", "bumped", "nk", "AB_OFF", "FE_OFF", "UD_OFF", "_bw_cache",
     )
 
     def __init__(
@@ -279,6 +279,12 @@ class _SimCore:
 
         self.arrivals_f: Dict[int, float] = {}
         self.arrivals_b: Dict[int, float] = {}
+        # fwd_end / bwd_start are keyed ``worker * nk + s * B + b``: a
+        # worker's backward consumes *its own* forward's activations, and a
+        # BSP round collects each member's own backward start.  A shared
+        # (s, b) key would collide when a replicated stage runs the same
+        # minibatch id on every worker (data-parallel schedules), making
+        # results depend on replica commit order under stragglers.
         self.fwd_end: Dict[int, float] = {}
         self.bwd_start: Dict[int, float] = {}
         self.update_done: Dict[int, float] = {}
@@ -290,11 +296,17 @@ class _SimCore:
         # Resolution events fired by the most recent commit, as flattened
         # keys: arrivals_f use the raw (s, b) index, the other families are
         # offset into disjoint ranges.
-        nk = self.S * self.B
+        nk = self.nk = self.S * self.B
         self.AB_OFF = nk
         self.FE_OFF = 2 * nk
         self.UD_OFF = 3 * nk
         self.fired: List[int] = []
+        #: Workers whose ``worker_free`` the most recent commit pushed
+        #: forward from *outside* their own commit — only BSP round commits
+        #: do this (the whole stage group resumes at the round's commit
+        #: time).  The event engine uses it for per-stage-group dirty
+        #: marking: only these workers' queued ready times can be stale.
+        self.bumped: List[int] = []
         self._bw_cache: Dict[Tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
@@ -347,7 +359,7 @@ class _SimCore:
             return t
         # BACKWARD
         if s == self.last_stage:
-            end = self.fwd_end.get(sB + b)
+            end = self.fwd_end.get(worker * self.nk + sB + b)
             if end is None:
                 return None
             if end > t:
@@ -403,7 +415,7 @@ class _SimCore:
             return t, None
         # BACKWARD
         if s == self.last_stage:
-            end = self.fwd_end.get(sB + b)
+            end = self.fwd_end.get(worker * self.nk + sB + b)
             if end is None:
                 return None, self.FE_OFF + sB + b
             if end > t:
@@ -435,7 +447,7 @@ class _SimCore:
         if kind is OpKind.FORWARD:
             dur = self.fwd_time[s] / self.speed[worker]
             end = start + dur
-            self.fwd_end[sB + b] = end
+            self.fwd_end[worker * self.nk + sB + b] = end
             if s == self.last_stage:
                 # Only the last stage's own backward waits on forward
                 # completion; other stages' forwards gate nothing directly.
@@ -450,7 +462,7 @@ class _SimCore:
         elif kind is OpKind.BACKWARD:
             dur = self.bwd_time[s] / self.speed[worker]
             end = start + dur
-            self.bwd_start[sB + b] = start
+            self.bwd_start[worker * self.nk + sB + b] = start
             self.compute_time[worker] += dur
             if s > 0:
                 group = self.stage_workers_list[s - 1]
@@ -514,7 +526,7 @@ class _SimCore:
             self.fired.append(self.UD_OFF + sBr)
             self.worker_free[worker] = start  # async commit; not blocked
             return start if duration == 0 else done
-        bwd_start = self.bwd_start.get(s * self.B + b, start)
+        bwd_start = self.bwd_start.get(worker * self.nk + s * self.B + b, start)
         backwards = self.round_backwards.get(sBr)
         if backwards is None:
             backwards = self.round_backwards[sBr] = []
@@ -544,6 +556,7 @@ class _SimCore:
             for w in self.stage_workers_list[s]:
                 if self.worker_free[w] < done:
                     self.worker_free[w] = done
+                    self.bumped.append(w)
             return done
         self.worker_free[worker] = start  # async commit; worker not blocked
         return start if duration == 0 else done
@@ -582,6 +595,7 @@ class _SimCore:
                 raise self._deadlock(pointers)
             op = self.schedule.worker_ops[best_worker][pointers[best_worker]]
             fired.clear()
+            self.bumped.clear()
             self.execute(best_worker, op, best_time)
             pointers[best_worker] += 1
             committed += 1
@@ -594,16 +608,17 @@ class _SimCore:
         (head op ready when enqueued) or parked on exactly one wakeup list
         (head op blocked on that event).  Heap entries can only go stale
         when a BSP round commit pushes ``worker_free`` forward for a whole
-        stage; in BSP mode popping re-validates against the current ready
-        time and re-pushes when the entry was optimistic (lazy
-        invalidation).  In the other modes a worker's ready time is frozen
-        while it sits in the heap (its dependencies are resolved and its
-        own ``worker_free`` only moves when it commits), so no
-        re-validation is needed.  Dependencies resolve monotonically, so a
-        ready op never becomes blocked and a ready time never decreases —
-        the heap minimum therefore matches the reference engine's
-        full-rescan minimum, and (time, rank) ordering reproduces its
-        first-wins tie-break exactly.
+        stage group; those commits report exactly which workers they
+        bumped (``_SimCore.bumped``), and the engine *dirty-marks* their
+        ranks instead of re-validating every pop.  A queued entry's
+        dependency component never changes after enqueue (dependencies
+        resolve monotonically and their times are final), so the fresh
+        ready time of a dirty entry is simply ``max(t, worker_free)`` — a
+        clamp, not a full readiness recomputation — and clean entries are
+        popped with no check at all, in every sync mode.  A ready op never
+        becomes blocked and a ready time never decreases, so the heap
+        minimum matches the reference engine's full-rescan minimum, and
+        (time, rank) ordering reproduces its first-wins tie-break exactly.
 
         The commit path is a locals-bound inline of :meth:`execute` /
         :meth:`_ready_or_key` — identical expressions, so the arithmetic
@@ -639,6 +654,7 @@ class _SimCore:
         compute_time = self.compute_time
         minibatch_done = self.minibatch_done
         fired = self.fired
+        nk = self.nk
         AB_OFF = self.AB_OFF
         FE_OFF = self.FE_OFF
         UD_OFF = self.UD_OFF
@@ -646,7 +662,11 @@ class _SimCore:
         UPDATE = OpKind.UPDATE
         execute_update = self._execute_update
         append_record = self.records.append
-        bsp = self.options.sync_mode == "bsp"
+        bumped = self.bumped
+        # Per-rank staleness flags driven by BSP round commits; see the
+        # docstring.  rank_of maps a bumped worker id back to its rank.
+        dirty = [False] * nworkers
+        rank_of = {w: r for r, w in enumerate(workers)}
         nic_contention = self.options.nic_contention
         sync_duration = self.sync_duration
         sync_free = self.sync_free
@@ -662,54 +682,6 @@ class _SimCore:
         nic_recv_free = self.nic_recv_free
         bw_cache = self._bw_cache
         link_bandwidth = self.placement.link_bandwidth
-
-        def head_ready(rank: int) -> Tuple[Optional[float], Optional[int]]:
-            """(start, None) when the head op is ready, else (None, key)."""
-            op = ops_by_rank[rank][pointers[rank]]
-            t = worker_free[workers[rank]]
-            kind = op.kind
-            if kind is UPDATE:
-                return t, None
-            s = op.stage
-            sB = s * B
-            b = op.minibatch
-            if kind is FORWARD:
-                if s > 0:
-                    arrival = arrivals_f.get(sB + b)
-                    if arrival is None:
-                        return None, sB + b
-                    if arrival > t:
-                        t = arrival
-                if gated_forward:
-                    rnd = b // round_div[s]
-                    if rnd > 0:
-                        gate = update_done.get(sB + rnd - 1)
-                        if gate is None:
-                            return None, UD_OFF + sB + rnd - 1
-                        if gate > t:
-                            t = gate
-                return t, None
-            if s == last_stage:
-                end = fwd_end.get(sB + b)
-                if end is None:
-                    return None, FE_OFF + sB + b
-                if end > t:
-                    t = end
-            else:
-                arrival = arrivals_b.get(sB + b)
-                if arrival is None:
-                    return None, AB_OFF + sB + b
-                if arrival > t:
-                    t = arrival
-            if pipedream_gate:
-                rnd = b // round_div[s]
-                if rnd >= 2 and replicas[s] > 1:
-                    gate = update_done.get(sB + rnd - 2)
-                    if gate is None:
-                        return None, UD_OFF + sB + rnd - 2
-                    if gate > t:
-                        t = gate
-            return t, None
 
         pd_gated = [pipedream_gate and r > 1 for r in self.replicas]
         group_len = [len(g) for g in stage_workers_list]
@@ -761,7 +733,7 @@ class _SimCore:
                                 t = gate
                 else:  # BACKWARD
                     if s == last_stage:
-                        end = fe_get(sB + b)
+                        end = fe_get(workers[rank] * nk + sB + b)
                         if end is None:
                             key = FE_OFF + sB + b
                             bucket = w_get(key)
@@ -819,15 +791,16 @@ class _SimCore:
                     raise self._deadlock(
                         {w: pointers[r] for r, w in enumerate(workers)})
                 t, rank = heappop(heap)
-                if bsp:
-                    current, key = head_ready(rank)
-                    if current is None:  # defensive; deps never un-resolve
-                        waiters.setdefault(key, []).append(rank)
-                        continue
+                if dirty[rank]:
+                    # A BSP round commit bumped this worker after its entry
+                    # was queued.  Dependency times are final once resolved,
+                    # so the fresh ready time is the clamp against the
+                    # current worker_free — no readiness recomputation.
+                    dirty[rank] = False
+                    current = worker_free[workers[rank]]
                     if current > t:
-                        heappush(heap, (current, rank))  # stale after a BSP bump
+                        heappush(heap, (current, rank))
                         continue
-                    t = current
             worker = workers[rank]
             op = ops_by_rank[rank][pointers[rank]]
             kind = op.kind
@@ -853,13 +826,21 @@ class _SimCore:
                     end = t if duration == 0 else done
                 else:
                     del fired[:]
+                    del bumped[:]
                     end = execute_update(worker, op, t)
                     if fired:
                         wake_key = fired[0]
+                    for w in bumped:
+                        # Dirty-mark ranks whose queued ready times a BSP
+                        # round commit just made stale.  The committing
+                        # rank's own next candidate is computed fresh below.
+                        r2 = rank_of[w]
+                        if r2 != rank:
+                            dirty[r2] = True
             elif kind is FORWARD:
                 dur = fwd_time[s] / speed[worker]
                 end = t + dur
-                fwd_end[sB + b] = end
+                fwd_end[worker * nk + sB + b] = end
                 compute_time[worker] += dur
                 worker_free[worker] = end
                 if s < last_stage:
@@ -894,7 +875,7 @@ class _SimCore:
             else:  # BACKWARD
                 dur = bwd_time[s] / speed[worker]
                 end = t + dur
-                bwd_start[sB + b] = t
+                bwd_start[worker * nk + sB + b] = t
                 compute_time[worker] += dur
                 worker_free[worker] = end
                 if s > 0:

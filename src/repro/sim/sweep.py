@@ -3,14 +3,25 @@
 The evaluation section's figures are weak-scaling sweeps; this module
 factors that loop out of the benches into a reusable harness producing
 tidy records, with CSV export for downstream analysis.
+
+The sweep decomposes into independent *cells* — one per
+``(model, strategy)`` pair, each cell covering every worker count — so it
+can fan out over a :mod:`concurrent.futures` executor.  Results are
+reassembled in the serial iteration order (model, then worker count, then
+strategy) regardless of completion order, so ``workers=N`` output is
+cell-for-cell identical to the ``workers=1`` serial fallback (asserted by
+``tests/test_sweep_parallel.py``).  A failing cell does not kill the
+sweep: every other cell completes, and the failures are reported per cell
+via :class:`SweepError` (or skipped with ``on_error="skip"``).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import csv
 import io
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.partition import PipeDreamOptimizer
 from repro.core.topology import Topology
@@ -50,6 +61,96 @@ class SweepRecord:
     peak_memory_gb: float
 
 
+@dataclass(frozen=True)
+class SweepFailure:
+    """One (model, strategy) cell that raised during the sweep."""
+
+    model: str
+    strategy: str
+    error: str
+
+    def __str__(self) -> str:
+        return f"({self.model}, {self.strategy}): {self.error}"
+
+
+class SweepError(RuntimeError):
+    """Raised when sweep cells fail; carries the surviving records.
+
+    ``failures`` lists every failed cell (the sweep runs all cells to
+    completion before raising); ``records`` holds the results of the cells
+    that succeeded, in the usual deterministic order.
+    """
+
+    def __init__(self, failures: Sequence[SweepFailure],
+                 records: Sequence[SweepRecord]):
+        self.failures = list(failures)
+        self.records = list(records)
+        lines = "; ".join(str(f) for f in failures)
+        super().__init__(f"{len(self.failures)} sweep cell(s) failed: {lines}")
+
+
+def _run_cell(
+    model: str,
+    strategy: str,
+    topology: Topology,
+    worker_counts: Sequence[int],
+    device: str,
+    minibatches: int,
+    engine: str,
+    vectorize: bool,
+    profile_cache: bool,
+) -> List[Optional[SweepRecord]]:
+    """Run one (model, strategy) cell over every worker count.
+
+    Returns one entry per ``worker_counts`` element, ``None`` where the
+    count does not pack onto the topology — index-aligned so the caller
+    can interleave cells back into serial order.  Module-level (and built
+    from picklable arguments) so it crosses a process-pool boundary.
+    """
+    profile = analytic_profile(model, device=device, cache=profile_cache)
+    # One optimizer per cell: its memoized level tables are shared by every
+    # solve of the worker-count loop, exactly as in the serial sweep.
+    optimizer = (
+        PipeDreamOptimizer(profile, topology, vectorize=vectorize)
+        if strategy == "pipedream" else None
+    )
+    out: List[Optional[SweepRecord]] = []
+    for workers in worker_counts:
+        try:
+            sub = topology.subset(workers)
+        except ValueError:
+            out.append(None)
+            continue
+        kwargs = {"engine": engine}
+        if optimizer is not None:
+            kwargs["optimizer"] = optimizer
+        result: StrategyResult = STRATEGIES[strategy](
+            profile, sub, minibatches, **kwargs)
+        out.append(SweepRecord(
+            model=model,
+            cluster=topology.name,
+            workers=workers,
+            strategy=strategy,
+            config=result.config,
+            samples_per_second=result.samples_per_second,
+            communication_overhead=result.communication_overhead,
+            bytes_per_sample=result.bytes_per_sample,
+            peak_memory_gb=max(result.memory_per_worker) / 1e9,
+        ))
+    return out
+
+
+def _run_cell_guarded(args) -> Tuple[List[Optional[SweepRecord]], Optional[str]]:
+    """(records, error): never raises, so one bad cell can't kill a pool."""
+    try:
+        return _run_cell(*args), None
+    except Exception as exc:  # noqa: BLE001 - reported per cell by design
+        return [], f"{type(exc).__name__}: {exc}"
+
+
+EXECUTORS = ("process", "thread")
+
+
 def run_sweep(
     models: Sequence[str],
     topology: Topology,
@@ -58,45 +159,79 @@ def run_sweep(
     device: str = "v100",
     minibatches: int = 48,
     engine: str = "event",
+    workers: int = 1,
+    executor: str = "process",
+    vectorize: bool = True,
+    profile_cache: bool = True,
+    on_error: str = "raise",
 ) -> List[SweepRecord]:
     """Simulate every combination; skips worker counts that don't pack.
 
-    One :class:`PipeDreamOptimizer` is built per model on the full
-    topology and shared across the worker-count loop, so the partitioner's
-    memoized level tables are reused by every ``solve`` of the sweep.
+    Args:
+        workers: sweep parallelism.  ``1`` (default) runs every cell
+            serially in-process; ``N > 1`` fans the (model, strategy) cells
+            out over ``N`` executor workers.  Output order and values are
+            identical either way.
+        executor: ``"process"`` (default) or ``"thread"`` pool for
+            ``workers > 1``.  Processes sidestep the GIL for the pure-Python
+            simulator loops; threads avoid fork/pickle overhead and see
+            in-process monkeypatching (useful in tests).
+        vectorize: forwarded to :class:`PipeDreamOptimizer` (DP and plan
+            evaluator).  ``False`` reproduces the scalar reference path —
+            the perf harness uses it as the sweep baseline.
+        profile_cache: forwarded to :func:`analytic_profile`; ``False``
+            rebuilds profiles per cell (again, the pre-cache baseline).
+        on_error: ``"raise"`` (default) raises :class:`SweepError` *after*
+            all cells complete when any cell failed; ``"skip"`` returns the
+            successful cells' records and drops the failures.
     """
     unknown = set(strategies) - set(STRATEGIES)
     if unknown:
         raise ValueError(f"unknown strategies: {sorted(unknown)}")
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"unknown on_error {on_error!r}; expected 'raise' or 'skip'")
+    worker_counts = list(worker_counts)
+    cells = [(model, strategy) for model in models for strategy in strategies]
+    cell_args = [
+        (model, strategy, topology, worker_counts, device, minibatches,
+         engine, vectorize, profile_cache)
+        for model, strategy in cells
+    ]
+
+    if workers <= 1 or len(cells) <= 1:
+        outcomes = [_run_cell_guarded(args) for args in cell_args]
+    else:
+        pool_cls = (
+            concurrent.futures.ProcessPoolExecutor
+            if executor == "process"
+            else concurrent.futures.ThreadPoolExecutor
+        )
+        with pool_cls(max_workers=min(workers, len(cells))) as pool:
+            # map() preserves submission order, so results line up with
+            # ``cells`` no matter which cell finishes first.
+            outcomes = list(pool.map(_run_cell_guarded, cell_args))
+
+    by_cell: Dict[Tuple[str, str], List[Optional[SweepRecord]]] = {}
+    failures: List[SweepFailure] = []
+    for (model, strategy), (cell_records, error) in zip(cells, outcomes):
+        if error is not None:
+            failures.append(SweepFailure(model, strategy, error))
+            cell_records = [None] * len(worker_counts)
+        by_cell[(model, strategy)] = cell_records
+
+    # Serial iteration order: model-major, then worker count, then strategy.
     records: List[SweepRecord] = []
     for model in models:
-        profile = analytic_profile(model, device=device)
-        optimizer = (
-            PipeDreamOptimizer(profile, topology)
-            if "pipedream" in strategies else None
-        )
-        for workers in worker_counts:
-            try:
-                sub = topology.subset(workers)
-            except ValueError:
-                continue
+        for idx in range(len(worker_counts)):
             for strategy in strategies:
-                kwargs = {"engine": engine}
-                if strategy == "pipedream":
-                    kwargs["optimizer"] = optimizer
-                result: StrategyResult = STRATEGIES[strategy](
-                    profile, sub, minibatches, **kwargs)
-                records.append(SweepRecord(
-                    model=model,
-                    cluster=topology.name,
-                    workers=workers,
-                    strategy=strategy,
-                    config=result.config,
-                    samples_per_second=result.samples_per_second,
-                    communication_overhead=result.communication_overhead,
-                    bytes_per_sample=result.bytes_per_sample,
-                    peak_memory_gb=max(result.memory_per_worker) / 1e9,
-                ))
+                record = by_cell[(model, strategy)][idx]
+                if record is not None:
+                    records.append(record)
+
+    if failures and on_error == "raise":
+        raise SweepError(failures, records)
     return records
 
 

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.models import build_gnmt, build_mlp, build_vgg
-from repro.profiler import analytic_profile, available_models, profile_model
+from repro.profiler import (
+    analytic_profile,
+    available_models,
+    clear_profile_cache,
+    profile_cache_stats,
+    profile_model,
+)
 from repro.profiler.analytic import (
     DEVICE_PEAK_FLOPS,
     KIND_EFFICIENCY,
@@ -175,3 +181,73 @@ class TestAnalyticProfiles:
     def test_gemm_kinds_more_efficient_than_memory_bound(self):
         assert KIND_EFFICIENCY["conv"] > KIND_EFFICIENCY["pool"]
         assert KIND_EFFICIENCY["fc"] > KIND_EFFICIENCY["embedding"]
+
+
+class TestProfileCache:
+    """The analytic-profile cache: same key -> same object, no collisions."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        clear_profile_cache()
+        yield
+        clear_profile_cache()
+
+    def test_hit_returns_same_object(self):
+        first = analytic_profile("vgg16")
+        second = analytic_profile("vgg16")
+        assert second is first
+
+    def test_cache_false_builds_fresh_equal_profile(self):
+        cached = analytic_profile("vgg16")
+        fresh = analytic_profile("vgg16", cache=False)
+        assert fresh is not cached
+        assert fresh.model_name == cached.model_name
+        assert fresh.batch_size == cached.batch_size
+        assert len(fresh) == len(cached)
+        assert [l.compute_time for l in fresh] == \
+            [l.compute_time for l in cached]
+        assert [l.weight_bytes for l in fresh] == \
+            [l.weight_bytes for l in cached]
+
+    def test_cache_false_does_not_populate(self):
+        analytic_profile("vgg16", cache=False)
+        assert profile_cache_stats()["entries"] == 0
+
+    def test_distinct_keys_do_not_collide(self):
+        base = analytic_profile("gnmt8")
+        assert analytic_profile("gnmt16") is not base
+        assert analytic_profile("gnmt8", batch_size=7) is not base
+        assert analytic_profile("gnmt8", device="1080ti") is not base
+        assert analytic_profile("gnmt8", bytes_per_element=2) is not base
+        # Each variant really differs where its key says it should.
+        assert analytic_profile("gnmt8", batch_size=7).batch_size == 7
+        assert (analytic_profile("gnmt8", bytes_per_element=2).total_weight_bytes
+                == base.total_weight_bytes // 2)
+        assert profile_cache_stats()["entries"] == 5
+
+    def test_clear_resets(self):
+        first = analytic_profile("resnet50")
+        clear_profile_cache()
+        assert profile_cache_stats()["entries"] == 0
+        rebuilt = analytic_profile("resnet50")
+        assert rebuilt is not first
+
+    def test_thread_safety_single_instance(self):
+        """Concurrent misses on one key converge to a single instance."""
+        import threading
+
+        results = []
+        barrier = threading.Barrier(8)
+
+        def build():
+            barrier.wait()
+            results.append(analytic_profile("mask-rcnn"))
+
+        threads = [threading.Thread(target=build) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 8
+        assert all(p is results[0] for p in results)
+        assert profile_cache_stats()["entries"] == 1

@@ -77,6 +77,31 @@ SCENARIOS = {
         data_parallel_schedule(8, 16, num_layers=len(VGG)), VGG, cluster_b(1),
         SimOptions(sync_mode="bsp", worker_speed={0: 0.7},
                    nic_contention=True)),
+    # BSP round commits bump every sibling's worker_free at once — the
+    # event engine's dirty-marking path.  Stragglers desynchronize the
+    # round members so the bumps actually move queued ready times.
+    "bsp_dp_stragglers_16w": lambda: (
+        data_parallel_schedule(16, 24, num_layers=len(VGG)), VGG, TOPO_A,
+        SimOptions(sync_mode="bsp",
+                   worker_speed={0: 0.5, 5: 1.7, 11: 0.8, 15: 2.0})),
+    # ASP data parallelism (sync_mode="pipedream"): no round barrier, the
+    # no-check pop fast path must still match the rescan reference.
+    "asp_data_parallel": lambda: (
+        data_parallel_schedule(16, 24, num_layers=len(VGG)), VGG, TOPO_A,
+        None),
+    # PipeDream's ASP form of data parallelism: one replicated stage under
+    # 1F1B-RR, minibatches round-robined over the replicas, weight syncs
+    # once per round.  Stragglers desynchronize the round members.
+    "asp_dp_single_stage_rr_stragglers": lambda: (
+        one_f_one_b_rr_schedule([Stage(0, len(VGG), 8)], 40), VGG,
+        cluster_b(1),
+        SimOptions(worker_speed={2: 0.4, 6: 2.5}, nic_contention=True)),
+    # Replicated-stage 1F1B-RR under stragglers: weight syncs on both
+    # 8-replica groups interleave with the pipeline's P2P transfers.
+    "rr_8_8_stragglers_nic": lambda: (
+        one_f_one_b_rr_schedule([Stage(0, 10, 8), Stage(10, len(VGG), 8)], 48),
+        VGG, TOPO_A,
+        SimOptions(worker_speed={1: 0.6, 9: 1.9}, nic_contention=True)),
 }
 
 
@@ -123,6 +148,31 @@ class TestEngineMatchesReferenceFuzzed:
         assert_engines_identical(
             data_parallel_schedule(4, minibatches, num_layers=2), profile,
             topo, SimOptions(sync_mode="bsp"))
+
+    @given(
+        compute=st.lists(st.floats(0.5, 20.0, allow_nan=False), min_size=3,
+                         max_size=3),
+        weights=st.integers(0, 2000),
+        minibatches=st.integers(2, 16),
+        speeds=st.lists(st.floats(0.25, 4.0, allow_nan=False), min_size=8,
+                        max_size=8),
+        nic=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bsp_straggler_fuzz(self, compute, weights, minibatches, speeds,
+                                nic):
+        """8-worker BSP with per-worker speeds: every round commit bumps
+        seven siblings, so stale queued entries are the common case."""
+        layers = [LayerProfile(f"l{i}", c, 0, weights)
+                  for i, c in enumerate(compute)]
+        profile = ModelProfile("fuzz", layers, batch_size=1)
+        topo = make_cluster("t8", 4, 2, 25.0, 5.0)
+        options = SimOptions(sync_mode="bsp",
+                             worker_speed=dict(enumerate(speeds)),
+                             nic_contention=nic)
+        assert_engines_identical(
+            data_parallel_schedule(8, minibatches, num_layers=3), profile,
+            topo, options)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,120 @@
+"""Parallel ``run_sweep`` is an optimization, not a semantic change.
+
+``workers=N`` fans the (model, strategy) cells over a process or thread
+pool; the records must be *identical* (same keys, same floats, same
+order) to the ``workers=1`` serial fallback.  A raising cell must not
+kill the sweep: every other cell completes and the failure is reported
+per cell via :class:`SweepError` (or dropped with ``on_error="skip"``).
+"""
+
+import pytest
+
+from repro.core.topology import cluster_a
+from repro.profiler import clear_profile_cache
+from repro.sim import SweepError, run_sweep
+from repro.sim import sweep as sweep_mod
+
+TOPO = cluster_a(4)
+MODELS = ["vgg16", "resnet50"]
+COUNTS = [4, 8]
+
+
+def run(**kwargs):
+    defaults = dict(models=MODELS, topology=TOPO, worker_counts=COUNTS,
+                    strategies=("dp", "pipedream"), minibatches=16)
+    defaults.update(kwargs)
+    return run_sweep(**defaults)
+
+
+@pytest.fixture()
+def serial_records():
+    return run(workers=1)
+
+
+@pytest.mark.parametrize("executor", ["process", "thread"])
+def test_parallel_identical_to_serial(serial_records, executor):
+    parallel = run(workers=2, executor=executor)
+    assert len(parallel) == len(serial_records)
+    # Cell-for-cell: same keys in the same order, bitwise-equal floats.
+    for got, want in zip(parallel, serial_records):
+        assert got == want
+
+
+def test_more_workers_than_cells(serial_records):
+    assert run(workers=32, executor="thread") == serial_records
+
+
+def test_single_cell_grid_matches():
+    serial = run(models=["vgg16"], strategies=("pipedream",), workers=1)
+    parallel = run(models=["vgg16"], strategies=("pipedream",), workers=4,
+                   executor="thread")
+    assert parallel == serial
+
+
+def test_profile_cache_does_not_change_results(serial_records):
+    clear_profile_cache()
+    cold = run(workers=2, executor="thread", profile_cache=False)
+    clear_profile_cache()
+    warm = run(workers=2, executor="thread", profile_cache=True)
+    assert cold == serial_records
+    assert warm == serial_records
+
+
+def test_scalar_evaluator_matches_vectorized_keys(serial_records):
+    scalar = run(workers=1, vectorize=False)
+    assert [(r.model, r.workers, r.strategy) for r in scalar] == \
+        [(r.model, r.workers, r.strategy) for r in serial_records]
+
+
+def test_unknown_executor_rejected():
+    with pytest.raises(ValueError, match="unknown executor"):
+        run(workers=2, executor="goroutine")
+
+
+def test_unknown_on_error_rejected():
+    with pytest.raises(ValueError, match="unknown on_error"):
+        run(on_error="explode")
+
+
+# ----------------------------------------------------------------------
+# Failure isolation: one bad cell must not kill the sweep.
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def failing_dp_for_resnet(monkeypatch):
+    """Make the (resnet50, dp) cell raise; every other cell untouched."""
+    original = sweep_mod.STRATEGIES["dp"]
+
+    def exploding(profile, topo, m, **kw):
+        if profile.model_name == "resnet50":
+            raise RuntimeError("injected cell failure")
+        return original(profile, topo, m, **kw)
+
+    monkeypatch.setitem(sweep_mod.STRATEGIES, "dp", exploding)
+
+
+@pytest.mark.parametrize("workers,executor", [(1, "process"), (2, "thread")])
+def test_failing_cell_reported_per_cell(failing_dp_for_resnet, workers,
+                                        executor):
+    with pytest.raises(SweepError) as excinfo:
+        run(workers=workers, executor=executor)
+    error = excinfo.value
+    assert len(error.failures) == 1
+    failure = error.failures[0]
+    assert failure.model == "resnet50"
+    assert failure.strategy == "dp"
+    assert "injected cell failure" in failure.error
+    assert "(resnet50, dp)" in str(error)
+    # The surviving cells all completed: every record except resnet50/dp.
+    keys = {(r.model, r.strategy) for r in error.records}
+    assert ("resnet50", "dp") not in keys
+    assert ("resnet50", "pipedream") in keys
+    assert ("vgg16", "dp") in keys
+
+
+def test_on_error_skip_returns_survivors(serial_records,
+                                         failing_dp_for_resnet):
+    survivors = run(workers=2, executor="thread", on_error="skip")
+    expected = [r for r in serial_records
+                if not (r.model == "resnet50" and r.strategy == "dp")]
+    assert survivors == expected
