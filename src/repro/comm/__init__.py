@@ -8,6 +8,17 @@ be cross-checked against the analytic model behind Figure 17.
 """
 
 from repro.comm.channel import Channel, Message, Network
-from repro.comm.collective import ring_allreduce, ring_allreduce_bytes
+from repro.comm.collective import (
+    allreduce_bytes_for_profile,
+    ring_allreduce,
+    ring_allreduce_bytes,
+)
 
-__all__ = ["Channel", "Message", "Network", "ring_allreduce", "ring_allreduce_bytes"]
+__all__ = [
+    "Channel",
+    "Message",
+    "Network",
+    "allreduce_bytes_for_profile",
+    "ring_allreduce",
+    "ring_allreduce_bytes",
+]

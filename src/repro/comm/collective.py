@@ -9,11 +9,14 @@ through a :class:`~repro.comm.channel.Network` so the bytes are observable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.comm.channel import Network
+
+if TYPE_CHECKING:  # pragma: no cover — payload sizing only needs the type
+    from repro.core.profile import ModelProfile
 
 
 def ring_allreduce(
@@ -94,7 +97,15 @@ def ring_allreduce(
 def ring_allreduce_bytes(num_elements: int, num_participants: int,
                          bytes_per_element: int = 8) -> int:
     """Closed-form total bytes a ring all_reduce moves (all links summed):
-    ``2 (m-1) * |data|`` — each participant ships ``2 (m-1)/m`` of it."""
+    ``2 (m-1) * |data|`` — each participant ships ``2 (m-1)/m`` of it.
+
+    The default ``bytes_per_element=8`` matches :func:`ring_allreduce`
+    itself, which moves the engine's float64 arrays over a real
+    :class:`~repro.comm.channel.Network`.  When sizing *hypothetical*
+    payloads from a profile (fp16 what-ifs via ``with_precision(2)``),
+    use :func:`allreduce_bytes_for_profile`, which reads the element
+    width off the profile instead of assuming the engine's.
+    """
     if num_participants <= 1:
         return 0
     # Chunks are integer splits, so mirror the same linspace the algorithm
@@ -106,3 +117,25 @@ def ring_allreduce_bytes(num_elements: int, num_participants: int,
     for step in range(num_participants - 1):
         total_elements += per_step
     return 2 * total_elements * bytes_per_element
+
+
+def allreduce_bytes_for_profile(
+    profile: "ModelProfile",
+    num_participants: int,
+    start: int = 0,
+    stop: Optional[int] = None,
+) -> int:
+    """Ring all_reduce volume for a profile's weight range, *at the
+    profile's own precision*.
+
+    A profile's ``weight_bytes`` already carry its ``bytes_per_element``
+    (``with_precision(2)`` halves them), so the element count is
+    recovered by dividing it back out before applying the closed form —
+    an fp16 profile therefore reports half the volume of its fp32
+    counterpart, which is the whole point of Figure 12's comparison.
+    """
+    stop = len(profile) if stop is None else stop
+    weight_bytes = profile.weight_bytes(start, stop)
+    per_element = max(1, int(profile.bytes_per_element))
+    num_elements = int(round(weight_bytes / per_element))
+    return ring_allreduce_bytes(num_elements, num_participants, per_element)

@@ -30,7 +30,7 @@ import math
 import threading
 import time
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.profile import ModelProfile
@@ -79,6 +79,10 @@ class PartitionResult:
     profile: ModelProfile
     topology: Topology
     solve_seconds: float = 0.0
+    #: Simulated per-stage footprint (``pipeline_memory_footprint`` under
+    #: 1F1B warmup depths) of the chosen plan, and the solver's limit echo.
+    memory_bytes: Tuple[int, ...] = ()
+    memory_limit_bytes: Optional[float] = None
 
     @property
     def num_stages(self) -> int:
@@ -146,10 +150,22 @@ class PipeDreamOptimizer:
             DP per level, innermost first.
         allow_replication: when False, every stage is pinned to one worker
             (used for straight-pipeline ablations).
-        memory_limit_bytes: optional per-worker memory capacity; candidate
-            stages whose worst-case footprint (weight versions + activation
-            stashes for the maximal number of in-flight minibatches) exceeds
-            the capacity are rejected, as in §3.1's constraint list.
+        memory_limit_bytes: optional per-worker memory capacity.  The DP
+            prices candidate stages with a cheap worst-case bound (weight
+            versions + activation stashes for the maximal number of
+            in-flight minibatches), as in §3.1's constraint list; with
+            ``memory_refine`` (default) :meth:`solve` then re-checks every
+            candidate plan against the simulator's *true* per-stage
+            footprint (:func:`repro.sim.memory.pipeline_memory_footprint`
+            under 1F1B ``warmup_count`` depths) and runs a second,
+            depth-aware DP pass that can recover plans the worst-case
+            bound over-rejects.
+        memory_refine: when True (default) and a memory limit is set,
+            :meth:`solve` is memory-faithful end to end: plans that
+            violate the true footprint are discarded even if the cheap
+            bound admits them, and the refined DP pass widens the search.
+            ``False`` reproduces the historical bound-only behaviour
+            (kept for comparison benchmarks).
         vectorize: when True (default) the per-level DP runs as numpy
             min-reductions over precomputed stage-time tables instead of the
             five-deep scalar loop nest; per-level tables are memoized across
@@ -166,11 +182,13 @@ class PipeDreamOptimizer:
         allow_replication: bool = True,
         memory_limit_bytes: Optional[float] = None,
         vectorize: bool = True,
+        memory_refine: bool = True,
     ):
         self.profile = profile
         self.topology = topology
         self.allow_replication = allow_replication
         self.memory_limit_bytes = memory_limit_bytes
+        self.memory_refine = memory_refine
         self.vectorize = vectorize and np is not None
         #: level-table memo for the vectorized DP, keyed by the
         #: (count, bandwidth, allreduce_bandwidth) tuple of every level up
@@ -193,11 +211,13 @@ class PipeDreamOptimizer:
         self._prefix_time = [0.0]
         self._prefix_weights = [0.0]
         self._prefix_recurrent = [0.0]
+        self._prefix_acts = [0.0]
         for layer in profile:
             self._prefix_time.append(self._prefix_time[-1] + layer.compute_time)
             self._prefix_weights.append(self._prefix_weights[-1] + layer.weight_bytes)
             recurrent = layer.weight_bytes if layer.kind in RECURRENT_KINDS else 0
             self._prefix_recurrent.append(self._prefix_recurrent[-1] + recurrent)
+            self._prefix_acts.append(self._prefix_acts[-1] + layer.activation_bytes)
 
     # ------------------------------------------------------------------
     # Range helpers
@@ -211,6 +231,10 @@ class PipeDreamOptimizer:
 
     def _recurrent_weights(self, i: int, j: int) -> float:
         return self._prefix_recurrent[j + 1] - self._prefix_recurrent[i]
+
+    def _activation_sum(self, i: int, j: int) -> float:
+        """Summed activation stash of layers i..j inclusive (one minibatch)."""
+        return self._prefix_acts[j + 1] - self._prefix_acts[i]
 
     def _memory_ok(self, i: int, j: int, replicas_total: int) -> bool:
         if self.memory_limit_bytes is None:
@@ -237,15 +261,50 @@ class PipeDreamOptimizer:
         - a *flat* DP over all workers at the slowest link bandwidth, which
           can express configurations like VGG-16's "15-1" that do not
           factor hierarchically (the form the paper's Table 1 reports).
+
+        When a memory limit is set and ``memory_refine`` is on, feasibility
+        is two-phase: the per-level DPs keep their cheap worst-case bound
+        as a pre-filter, a *refined* flat DP with a per-stage depth-aware
+        mask (versions = ``ceil(total/replicas)``, the exact 1F1B
+        ``warmup_count``) widens the candidate set, and every candidate is
+        finally re-checked against the simulator's true per-stage
+        footprint before scoring.  Plans the worst-case bound over-rejects
+        are recovered; plans it wrongly admits are discarded.
         """
         start_time = time.perf_counter()
         topology = self.topology
         if num_workers is not None and num_workers != topology.total_workers:
             topology = topology.subset(num_workers)
 
-        candidates = [self._solve_for(topology)]
-        if topology.num_levels > 1:
-            candidates.append(self._solve_for(topology.flat()))
+        refine = self.memory_refine and self.memory_limit_bytes is not None
+        candidates: List[List[Stage]] = []
+        if refine:
+            # Phase 1: the historical bound-filtered DPs.  They may find
+            # nothing under a tight limit — the refined pass can still.
+            for topo in self._decompositions(topology):
+                try:
+                    candidates.append(self._solve_for(topo))
+                except RuntimeError:
+                    pass
+            # Phase 2: depth-aware placement-exact DP (exact warmup_count
+            # versions, evaluator-model sync and boundary costs).
+            refined = self._solve_refined(topology)
+            if refined is not None:
+                candidates.append(refined)
+            # Ground truth: keep only plans whose simulated footprint fits.
+            limit = self.memory_limit_bytes
+            candidates = [
+                stages
+                for stages in candidates
+                if max(self._true_footprint(stages)) <= limit
+            ]
+            if not candidates:
+                raise RuntimeError(
+                    "no feasible partition found (memory limit too tight?)"
+                )
+        else:
+            candidates = [self._solve_for(topo)
+                          for topo in self._decompositions(topology)]
         # Note: the evaluator applies the topology's compute scale itself,
         # so the raw (reference-device) profile is passed here.  The
         # evaluator path follows the optimizer's own vectorize flag so the
@@ -275,13 +334,275 @@ class PipeDreamOptimizer:
             profile=self.profile,
             topology=topology,
             solve_seconds=elapsed,
+            memory_bytes=tuple(self._true_footprint(stages)),
+            memory_limit_bytes=self.memory_limit_bytes,
         )
+
+    def _decompositions(self, topology: Topology) -> List[Topology]:
+        """The topologies the per-level DP is run on: the hierarchy itself
+        plus (for multi-level clusters) its flattened form."""
+        if topology.num_levels > 1:
+            return [topology, topology.flat()]
+        return [topology]
+
+    def _true_footprint(self, stages: Sequence[Stage]) -> List[int]:
+        """The simulator's per-stage footprint for a candidate plan."""
+        # Imported lazily: repro.sim.memory imports Stage from this module.
+        from repro.sim.memory import pipeline_memory_footprint
+
+        return pipeline_memory_footprint(self.profile, stages)
 
     def _solve_for(self, topology: Topology) -> List[Stage]:
         """Run the level-by-level DP on ``topology``; returns the stages."""
         if self.vectorize:
             return self._solve_for_vectorized(topology)
         return self._solve_for_reference(topology)
+
+    # ------------------------------------------------------------------
+    # The refinement pass: depth-aware flat DP over worker suffixes
+    # ------------------------------------------------------------------
+    def _solve_refined(self, topology: Topology) -> Optional[List[Stage]]:
+        """Placement-exact DP whose memory mask uses the *exact* 1F1B depth.
+
+        The worst-case bound charges every stage ``total_workers`` weight
+        versions, but §3.3's actual stash depth is the stage's warmup
+        count ``ceil(sum_{t>=s} r_t / r_s)`` — NOAM at the input stage, 1
+        at the output stage.  Depth depends on the workers *downstream* of
+        a stage, which the (i→j, m) recurrence cannot see, so this pass
+        reformulates the DP over layer suffixes: ``R(j, m)`` is the best
+        pipeline over layers ``j..n-1`` using exactly ``m`` workers.  A
+        leading stage ``j..k`` on ``m'`` of those workers then has exactly
+        ``m`` workers at-or-downstream, so its true depth is
+        ``ceil(m / m')`` and the mask
+
+            ceil(m / m') * (stage weights + stage activation stash) <= L
+
+        is precisely ``pipeline_memory_footprint <= L`` for that stage in
+        any plan this DP emits.
+
+        The suffix form has a second payoff: with the evaluator's
+        stage-major packing, a suffix of ``m`` workers occupies workers
+        ``[W-m, W-1]`` and its leading stage the contiguous group
+        ``[W-m, W-m+m'-1]`` — one concrete replica group and boundary
+        link per ``(m, m')`` pair.  The DP therefore prices sync and
+        activation transfers with the *same hierarchical placement model*
+        the candidate scoring uses (see :func:`_refined_comm_tables`),
+        instead of the flat slowest-link approximation, so its optimum is
+        the evaluator's optimum over depth-feasible plans.  Both twins
+        consume the same precomputed tables and identical float
+        expressions, keeping scalar and vectorized paths bitwise equal.
+
+        Returns ``None`` when no plan fits (the caller may still have
+        bound-filtered candidates).
+        """
+        sig = tuple(
+            (lv.count, lv.bandwidth, lv.allreduce_bandwidth)
+            for lv in topology.levels
+        )
+        cache_key = ("refined", sig, topology.compute_scale,
+                     float(self.memory_limit_bytes), self.allow_replication)
+        cached = self._level_cache.get(cache_key)
+        if cached is not None:
+            return cached[0]
+        coeffs, link_bw = self._refined_comm_tables(topology)
+        if self.vectorize:
+            stages = self._solve_refined_vectorized(topology, coeffs, link_bw)
+        else:
+            stages = self._solve_refined_reference(topology, coeffs, link_bw)
+        self._level_cache[cache_key] = (stages,)
+        return stages
+
+    def _refined_comm_tables(self, topology: Topology):
+        """Per-``(m, m')`` placement-exact communication tables.
+
+        ``coeffs[m][mp]`` is the hierarchical ring all_reduce
+        seconds-per-byte of the contiguous group ``[W-m, W-m+mp-1]``,
+        accumulated level by level exactly as
+        :func:`repro.sim.network.allreduce_time` (and the vectorized
+        evaluator) does; ``link_bw[w]`` is the bandwidth of the link
+        between workers ``w-1`` and ``w`` — the outermost level whose
+        component they do not share.  Both twins consume these shared
+        python floats, so their candidate values agree bitwise.
+        """
+        levels = topology.levels
+        W = topology.total_workers
+        coeffs = [[0.0] * (m + 1) for m in range(W + 1)]
+        for m in range(1, W + 1):
+            first = W - m
+            for mp in range(1, m + 1):
+                last = first + mp - 1
+                spans = []
+                per_component = 1
+                for level in levels:
+                    spans.append(
+                        last // per_component - first // per_component + 1
+                    )
+                    per_component *= level.count
+                coeff = 0.0
+                prev_span = mp
+                for k, level in enumerate(levels):
+                    span_above = spans[k + 1] if k + 1 < len(spans) else 1
+                    group = max(1, round(prev_span / max(1, span_above)))
+                    coeff += 2.0 * (group - 1) / group / level.allreduce_bandwidth
+                    prev_span = span_above
+                coeffs[m][mp] = coeff
+        link_bw = [levels[0].bandwidth] * max(W, 2)
+        for w in range(1, W):
+            crossing = 0
+            per_component = 1
+            for k, level in enumerate(levels):
+                if (w - 1) // per_component != w // per_component:
+                    crossing = k
+                per_component *= level.count
+            link_bw[w] = levels[crossing].bandwidth
+        return coeffs, link_bw
+
+    def _refined_stage_time(
+        self, j: int, k: int, mp: int, m: int, coeff: float, limit: float,
+    ) -> float:
+        """Leading-stage time for the suffix DP (inf when masked out).
+
+        ``coeff`` is the placement-exact all_reduce seconds-per-byte of
+        the group this (suffix ``m``, replicas ``mp``) stage occupies.
+        """
+        if mp > 1 and not self.allow_replication:
+            return math.inf
+        versions = -(-m // mp)  # exact 1F1B depth: ceil(m / m')
+        payload = self._weights(j, k) + self._activation_sum(j, k)
+        if versions * payload > limit:
+            return math.inf
+        compute_term = self._time(j, k) / mp
+        if mp == 1:
+            return compute_term
+        weights = self._weights(j, k)
+        deferred = self._recurrent_weights(j, k)
+        overlappable = (weights - deferred) * coeff / mp
+        non_overlappable = deferred * coeff / mp
+        return max(compute_term, overlappable) + non_overlappable
+
+    def _solve_refined_reference(
+        self, topology: Topology, coeffs, link_bw
+    ) -> Optional[List[Stage]]:
+        """Scalar suffix DP (the oracle the vectorized twin must match)."""
+        n = self._n
+        W = topology.total_workers
+        limit = self.memory_limit_bytes
+        inf = math.inf
+        # R[m][j]: bottleneck of layers j..n-1 on exactly m workers.  The
+        # base R[0][n] = 0 closes a plan that used every worker; leftover
+        # workers (R[m][n], m > 0) stay infeasible, as in the level DP.
+        R = [[inf] * (n + 1) for _ in range(W + 1)]
+        ptr_k = [[-1] * n for _ in range(W + 1)]
+        ptr_mp = [[-1] * n for _ in range(W + 1)]
+        R[0][n] = 0.0
+        for m in range(1, W + 1):
+            for j in range(n - 1, -1, -1):
+                best = inf
+                best_k = -1
+                best_mp = -1
+                for k in range(j, n):
+                    act = self.profile.activation_bytes(k)
+                    for mp in range(1, m + 1):
+                        rest = R[m - mp][k + 1]
+                        if k == n - 1:
+                            boundary = 0.0
+                        else:
+                            # Next stage starts at worker W-m+mp; when
+                            # mp == m there is no next worker and ``rest``
+                            # is already inf, so the clamp is value-free.
+                            boundary = (
+                                2.0 * act / link_bw[min(W - m + mp, W - 1)]
+                            )
+                        stage_t = self._refined_stage_time(
+                            j, k, mp, m, coeffs[m][mp], limit
+                        )
+                        candidate = max(stage_t, boundary, rest)
+                        if candidate < best:
+                            best = candidate
+                            best_k = k
+                            best_mp = mp
+                R[m][j] = best
+                ptr_k[m][j] = best_k
+                ptr_mp[m][j] = best_mp
+        if not math.isfinite(R[W][0]):
+            return None
+        return self._reconstruct_refined(ptr_k, ptr_mp, W)
+
+    def _solve_refined_vectorized(
+        self, topology: Topology, coeffs, link_bw
+    ) -> Optional[List[Stage]]:
+        """Numpy suffix DP: per worker count, one argmin over a (k, m')
+        candidate cube.  The (k-major, m'-minor) flattening reproduces the
+        scalar loop's tie-break; values are selections of identically
+        computed floats, so the plans match the scalar twin bitwise."""
+        n = self._n
+        W = topology.total_workers
+        limit = self.memory_limit_bytes
+        inf = math.inf
+        pt = np.asarray(self._prefix_time)
+        pw = np.asarray(self._prefix_weights)
+        pr = np.asarray(self._prefix_recurrent)
+        pa = np.asarray(self._prefix_acts)
+        rows = np.arange(n)
+        valid = rows[:, None] <= rows[None, :]  # j <= k
+        compute = pt[None, 1:] - pt[:n, None]
+        Wt = pw[None, 1:] - pw[:n, None]
+        D = pr[None, 1:] - pr[:n, None]
+        payload = Wt + (pa[None, 1:] - pa[:n, None])
+        acts = np.asarray(
+            [self.profile.activation_bytes(k) for k in range(n)]
+        )
+        R = np.full((W + 1, n + 1), inf)
+        R[0, n] = 0.0
+        ptr_k = np.full((W + 1, n), -1, dtype=np.int64)
+        ptr_mp = np.full((W + 1, n), -1, dtype=np.int64)
+        for m in range(1, W + 1):
+            cand = np.empty((m, n, n))
+            for mp in range(1, m + 1):
+                # Leading-stage time for this (m, mp): the placement-exact
+                # coeff varies with the suffix, so it cannot be hoisted.
+                coeff = coeffs[m][mp]
+                if mp == 1:
+                    tval = np.where(valid, compute / 1, inf)
+                elif not self.allow_replication:
+                    tval = np.full((n, n), inf)
+                else:
+                    tm = np.maximum(compute / mp, (Wt - D) * coeff / mp)
+                    tm = tm + D * coeff / mp
+                    tval = np.where(valid, tm, inf)
+                versions = -(-m // mp)
+                masked = np.where(versions * payload <= limit, tval, inf)
+                boundary = np.zeros(n)
+                if n > 1:
+                    boundary[: n - 1] = (
+                        2.0 * acts[: n - 1] / link_bw[min(W - m + mp, W - 1)]
+                    )
+                cand[mp - 1] = np.maximum(
+                    np.maximum(masked, boundary[None, :]), R[m - mp][None, 1:]
+                )
+            candf = cand.transpose(2, 0, 1).reshape(n * m, n)
+            flat = np.argmin(candf, axis=0)
+            best = np.take_along_axis(candf, flat[None], axis=0)[0]
+            finite = np.isfinite(best)
+            R[m, :n] = np.where(finite, best, inf)
+            ptr_k[m] = np.where(finite, flat // m, -1)
+            ptr_mp[m] = np.where(finite, flat % m + 1, -1)
+        if not np.isfinite(R[W, 0]):
+            return None
+        return self._reconstruct_refined(ptr_k, ptr_mp, W)
+
+    def _reconstruct_refined(self, ptr_k, ptr_mp, W: int) -> List[Stage]:
+        """Walk the suffix DP's back-pointers front to back."""
+        n = self._n
+        stages: List[Stage] = []
+        j, m = 0, W
+        while j < n:
+            k = int(ptr_k[m][j])
+            mp = int(ptr_mp[m][j])
+            stages.append(Stage(j, k + 1, mp))
+            j = k + 1
+            m -= mp
+        return stages
 
     def _solve_for_vectorized(self, topology: Topology) -> List[Stage]:
         """Numpy formulation of the level-by-level DP.
@@ -702,17 +1023,31 @@ class PartitionEvaluation:
 
     ``stage_times[i]`` is the effective per-minibatch time of stage ``i``
     (amortized compute vs. all_reduce); ``boundary_times[i]`` the
-    point-to-point transfer between stages ``i`` and ``i+1``.
+    point-to-point transfer between stages ``i`` and ``i+1``;
+    ``memory_bytes[i]`` the simulated per-worker footprint of stage ``i``
+    (``pipeline_memory_footprint`` under 1F1B warmup depths), with
+    ``memory_limit_bytes`` echoing the caller's capacity (``None`` when
+    unconstrained).
     """
 
     bottleneck_time: float
     stage_times: Tuple[float, ...]
     boundary_times: Tuple[float, ...]
+    memory_bytes: Tuple[int, ...] = ()
+    memory_limit_bytes: Optional[float] = None
 
     @property
     def bottleneck_stage(self) -> int:
         """Index of the slowest stage (first one on ties)."""
         return self.stage_times.index(max(self.stage_times))
+
+    @property
+    def fits_memory(self) -> bool:
+        """True when every stage's footprint is within the limit (or no
+        limit was given)."""
+        if self.memory_limit_bytes is None:
+            return True
+        return all(m <= self.memory_limit_bytes for m in self.memory_bytes)
 
 
 def evaluate_partition_details(
@@ -720,6 +1055,7 @@ def evaluate_partition_details(
     stages: Sequence[Stage],
     topology: Topology,
     vectorize: bool = True,
+    memory_limit_bytes: Optional[float] = None,
 ) -> PartitionEvaluation:
     """Like :func:`evaluate_partition_on_topology` with the full breakdown.
 
@@ -729,12 +1065,25 @@ def evaluate_partition_details(
     :mod:`repro.sim.network` stage by stage.  Both paths evaluate the exact
     same float expressions, so their results are bitwise identical
     (asserted by ``tests/test_partition_evaluator_equiv.py``).
+
+    The per-stage memory column is integer arithmetic shared by both
+    paths; ``memory_limit_bytes`` is echoed into the result for
+    :attr:`PartitionEvaluation.fits_memory`.
     """
     _check_stages(profile, stages)
+    # Imported lazily: repro.sim.memory imports Stage from this module.
+    from repro.sim.memory import pipeline_memory_footprint
+
     tables = _eval_tables(profile)
     if vectorize and np is not None:
-        return _evaluate_details_vectorized(tables, stages, topology)
-    return _evaluate_details_scalar(tables, stages, topology)
+        result = _evaluate_details_vectorized(tables, stages, topology)
+    else:
+        result = _evaluate_details_scalar(tables, stages, topology)
+    return replace(
+        result,
+        memory_bytes=tuple(pipeline_memory_footprint(profile, stages)),
+        memory_limit_bytes=memory_limit_bytes,
+    )
 
 
 def evaluate_partition_on_topology(

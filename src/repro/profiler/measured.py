@@ -115,4 +115,16 @@ def profile_model(
         )
         for i, name in enumerate(model.layer_names)
     ]
-    return ModelProfile(model.model_name, layers, batch_size=batch_size, bytes_per_element=8)
+    # The element width is read off the parameters themselves (the engine
+    # runs float64 today, so this is 8) rather than hardcoded: downstream
+    # payload sizing — ``with_precision`` rescaling, all_reduce volumes —
+    # divides the byte counts above by this number, so the two must come
+    # from the same dtype or fp16 what-if sweeps silently mis-scale.
+    itemsizes = {
+        int(p.data.dtype.itemsize)
+        for i in range(model.num_layers)
+        for p in model.layer(i).parameters()
+    }
+    bytes_per_element = max(itemsizes) if itemsizes else 8
+    return ModelProfile(model.model_name, layers, batch_size=batch_size,
+                        bytes_per_element=bytes_per_element)

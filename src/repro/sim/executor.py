@@ -183,8 +183,8 @@ class _SimCore:
         "fwd_time", "bwd_time", "boundary_bytes",
         "sync_duration", "sync_stream", "sync_deferred",
         "placement", "workers", "ops_by_rank", "stage_workers_list",
-        "replicas", "round_div", "gated_forward", "pipedream_gate",
-        "is_bsp", "is_gpipe",
+        "replicas", "round_div", "round_expected", "gated_forward",
+        "pipedream_gate", "is_bsp", "is_gpipe",
         "worker_free", "speed", "channel_free", "channel_busy",
         "nic_send_free", "nic_recv_free", "sync_free", "sync_busy",
         "arrivals_f", "arrivals_b", "fwd_end", "bwd_start", "update_done",
@@ -268,6 +268,27 @@ class _SimCore:
         self.is_bsp = options.sync_mode == "bsp"
         self.is_gpipe = options.sync_mode == "gpipe"
 
+        # Per-round membership comes from the ops the schedule actually
+        # emits, not from an assumed round-robin minibatch→replica
+        # assignment.  A round-robin 1F1B schedule has one UPDATE per
+        # minibatch in a round, but ``data_parallel_schedule`` runs every
+        # minibatch on every replica — under ``sync_mode="pipedream"`` the
+        # old ``min(per, B - rnd*per)`` closed those rounds after the first
+        # sweep's worth of commits and then *re*-committed them on each
+        # later arrival, making ``update_done`` (and the rnd-2 backward
+        # gate reading it) depend on replica commit order.  Counting the
+        # schedule's own UPDATEs gives every round its true membership for
+        # any schedule shape.
+        round_expected: Dict[int, int] = defaultdict(int)
+        for ops in self.ops_by_rank:
+            for op in ops:
+                if op.kind is OpKind.UPDATE:
+                    s = op.stage
+                    round_expected[
+                        s * self.B + op.minibatch // self.round_div[s]
+                    ] += 1
+        self.round_expected = dict(round_expected)
+
         self.worker_free = {w: 0.0 for w in self.workers}
         self.speed = {w: options.speed_of(w) for w in self.workers}
         self.channel_free: Dict[Tuple[int, int], float] = defaultdict(float)
@@ -318,15 +339,14 @@ class _SimCore:
     # round is one sweep across the stage's replicas.
 
     def _round_members(self, stage_index: int, rnd: int) -> int:
-        """How many UPDATE ops make up this round (tail rounds are short)."""
-        if self.is_bsp:
-            return self.replicas[stage_index]
-        if self.is_gpipe:
-            return 1  # the schedule emits one aggregated UPDATE per batch
-        per = self.replicas[stage_index]
-        if per == 1:
-            return 1
-        return max(1, min(per, self.schedule.num_minibatches - rnd * per))
+        """How many UPDATE ops make up this round (tail rounds are short).
+
+        Read off the schedule itself (see ``round_expected`` in
+        ``__init__``): one per replica-and-minibatch for data-parallel
+        schedules, one per minibatch for round-robin 1F1B, one aggregated
+        per batch for GPipe.
+        """
+        return self.round_expected.get(stage_index * self.B + rnd, 1)
 
     # ------------------------------------------------------------------
     # Readiness
@@ -507,13 +527,10 @@ class _SimCore:
         rnd = b // self.round_div[s]
         sBr = s * self.B + rnd
         is_bsp = self.is_bsp
-        if is_bsp:
-            members = self.replicas[s]
-        elif self.is_gpipe or self.replicas[s] == 1:
+        if self.is_gpipe or (not is_bsp and self.replicas[s] == 1):
             members = 1
         else:
-            per = self.replicas[s]
-            members = max(1, min(per, self.schedule.num_minibatches - rnd * per))
+            members = self.round_expected.get(sBr, 1)
         if members == 1 and not is_bsp:
             # Single-member round (straight 1F1B, GPipe): the general path
             # below specialized to one backward — sync starts when it ends.

@@ -46,8 +46,10 @@ def pipeline_memory_footprint(
         depth = in_flight[s] if in_flight is not None else warmup_count(stages, s)
         weights = stage_weight_bytes(profile, stage)
         activations = stage_activation_bytes(profile, stage)
-        # One live weight copy plus (depth - 1) extra stashed versions; one
-        # activation stash per in-flight minibatch.
+        # §3.3: one weight version and one activation stash per in-flight
+        # minibatch — ``depth`` of each in total (the live copy is the
+        # newest version), i.e. NOAM x (weights + acts) at the input stage
+        # and 1 x (weights + acts) at the output stage.
         footprints.append(weights * depth + activations * depth)
     return footprints
 

@@ -8,7 +8,7 @@ volume, and per-worker memory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.core.partition import (
@@ -43,6 +43,10 @@ class StrategyResult:
     memory_per_worker: List[int]
     sim: SimResult
     samples_per_minibatch: int = 0  # global samples each minibatch tick covers
+    #: The stage list actually simulated (DP is the one-stage degenerate
+    #: pipeline) — lets callers recompute per-stage breakdowns and §3.3
+    #: footprints without re-deriving the plan.
+    stages: List[Stage] = field(default_factory=list)
 
     @property
     def samples_per_second(self) -> float:
@@ -87,6 +91,7 @@ def simulate_data_parallel(
         memory_per_worker=[data_parallel_memory_footprint(profile)] * workers,
         sim=sim,
         samples_per_minibatch=workers * profile.batch_size,
+        stages=[Stage(0, len(profile), workers)],
     )
 
 
@@ -118,6 +123,7 @@ def simulate_model_parallel(
         memory_per_worker=pipeline_memory_footprint(profile, stages, in_flight=[1] * len(stages)),
         sim=sim,
         samples_per_minibatch=profile.batch_size,
+        stages=list(stages),
     )
 
 
@@ -172,6 +178,7 @@ def simulate_gpipe(
         memory_per_worker=pipeline_memory_footprint(micro_profile, stages, in_flight=in_flight),
         sim=sim,
         samples_per_minibatch=profile.batch_size,
+        stages=list(stages),
     )
 
 
@@ -208,6 +215,7 @@ def simulate_partition(
         memory_per_worker=pipeline_memory_footprint(profile, stages),
         sim=sim,
         samples_per_minibatch=profile.batch_size,
+        stages=stages,
     )
 
 
@@ -250,6 +258,7 @@ def simulate_pipedream(
             memory_per_worker=result.memory_per_worker,
             sim=result.sim,
             samples_per_minibatch=result.samples_per_minibatch,
+            stages=result.stages,
         )
     return simulate_partition(profile, topology, plan.stages, num_minibatches,
                               plan.noam, engine=engine)

@@ -23,9 +23,10 @@ import io
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.partition import PipeDreamOptimizer
+from repro.core.partition import PipeDreamOptimizer, evaluate_partition_details
 from repro.core.topology import Topology
 from repro.profiler import analytic_profile
+from repro.sim.memory import pipeline_memory_footprint
 from repro.sim.strategies import (
     StrategyResult,
     simulate_data_parallel,
@@ -48,7 +49,17 @@ STRATEGIES: Dict[str, Callable] = {
 
 @dataclass(frozen=True)
 class SweepRecord:
-    """One (model, workers, strategy) measurement."""
+    """One (model, workers, strategy) measurement.
+
+    The three per-stage tuples break the headline numbers down along the
+    chosen plan (index = stage): the evaluator's per-stage bottleneck
+    seconds, the inter-stage boundary transfer seconds (one entry per
+    boundary, empty for single-stage plans), and the §3.3 simulated
+    footprint ``pipeline_memory_footprint`` at 1F1B warmup depths.
+    ``peak_memory_gb`` stays the strategy driver's own accounting (GPipe,
+    for instance, sizes its stash from microbatches, not warmup depth).
+    In CSV form tuple columns are ``|``-joined scalars.
+    """
 
     model: str
     cluster: str
@@ -59,6 +70,9 @@ class SweepRecord:
     communication_overhead: float
     bytes_per_sample: float
     peak_memory_gb: float
+    stage_seconds: Tuple[float, ...] = ()
+    boundary_seconds: Tuple[float, ...] = ()
+    stage_memory_bytes: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -126,6 +140,14 @@ def _run_cell(
             kwargs["optimizer"] = optimizer
         result: StrategyResult = STRATEGIES[strategy](
             profile, sub, minibatches, **kwargs)
+        # Per-stage breakdowns of the simulated plan: the evaluator's
+        # stage/boundary seconds (same vectorize flag as the optimizer, so
+        # scalar-baseline sweeps stay bitwise-reproducible) and the §3.3
+        # per-stage footprint.
+        details = evaluate_partition_details(
+            profile, result.stages, sub, vectorize=vectorize
+        )
+        stage_memory = pipeline_memory_footprint(profile, result.stages)
         out.append(SweepRecord(
             model=model,
             cluster=topology.name,
@@ -136,6 +158,9 @@ def _run_cell(
             communication_overhead=result.communication_overhead,
             bytes_per_sample=result.bytes_per_sample,
             peak_memory_gb=max(result.memory_per_worker) / 1e9,
+            stage_seconds=details.stage_times,
+            boundary_seconds=details.boundary_times,
+            stage_memory_bytes=tuple(stage_memory),
         ))
     return out
 
@@ -237,7 +262,13 @@ def run_sweep(
 
 def records_to_csv(records: Iterable[SweepRecord],
                    path: Optional[str] = None) -> str:
-    """Serialize records as CSV; writes to ``path`` when given."""
+    """Serialize records as CSV; writes to ``path`` when given.
+
+    Per-stage tuple fields (``stage_seconds``, ``boundary_seconds``,
+    ``stage_memory_bytes``) are flattened to ``|``-joined scalars so the
+    output stays one row per record and round-trips through plain
+    ``csv.DictReader`` (split on ``|`` to recover the stage axis).
+    """
     records = list(records)
     if not records:
         raise ValueError("no records to serialize")
@@ -245,7 +276,12 @@ def records_to_csv(records: Iterable[SweepRecord],
     writer = csv.DictWriter(buffer, fieldnames=list(asdict(records[0])))
     writer.writeheader()
     for record in records:
-        writer.writerow(asdict(record))
+        row = {
+            key: "|".join(repr(v) for v in value)
+            if isinstance(value, (tuple, list)) else value
+            for key, value in asdict(record).items()
+        }
+        writer.writerow(row)
     text = buffer.getvalue()
     if path is not None:
         with open(path, "w") as f:

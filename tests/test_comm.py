@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.comm import Channel, Network, ring_allreduce, ring_allreduce_bytes
+from repro.comm import (
+    Channel,
+    Network,
+    allreduce_bytes_for_profile,
+    ring_allreduce,
+    ring_allreduce_bytes,
+)
 from repro.core.partition import Stage, communication_bytes_per_minibatch
 from repro.data import make_classification_data
 from repro.models import build_mlp
@@ -110,6 +116,74 @@ class TestRingAllReduce:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             ring_allreduce([])
+
+
+class TestProfilePayloadSizing:
+    """All_reduce payloads sized from a profile honor its precision."""
+
+    def test_fp16_profile_moves_half_the_bytes(self):
+        from repro.profiler import analytic_profile
+
+        fp32 = analytic_profile("vgg16")
+        fp16 = fp32.with_precision(2)
+        for m in (2, 4, 8):
+            full = allreduce_bytes_for_profile(fp32, m)
+            half = allreduce_bytes_for_profile(fp16, m)
+            assert half == full // 2
+        # Layer ranges size from that range's weights only.
+        assert allreduce_bytes_for_profile(fp32, 4, start=0, stop=3) < \
+            allreduce_bytes_for_profile(fp32, 4)
+
+    def test_profile_sizing_matches_element_count(self):
+        from repro.core.profile import LayerProfile, ModelProfile
+
+        profile = ModelProfile(
+            "toy",
+            [LayerProfile("l0", 1.0, 0, 4000)],
+            batch_size=1,
+            bytes_per_element=4,
+        )
+        assert allreduce_bytes_for_profile(profile, 3) == \
+            ring_allreduce_bytes(1000, 3, 4)
+
+    def test_measured_profile_reads_dtype_width(self):
+        """The measured profiler derives bytes_per_element from the
+        parameters' dtype (float64 engine -> 8), not a hardcoded value."""
+        from repro.profiler import profile_model
+
+        model = build_mlp(rng=np.random.default_rng(4))
+        X, _ = make_classification_data(num_samples=8, seed=4)
+        profile = profile_model(model, X, 1, 0)
+        widths = {
+            p.data.dtype.itemsize
+            for i in range(model.num_layers)
+            for p in model.layer(i).parameters()
+        }
+        assert profile.bytes_per_element == max(widths)
+        assert profile.bytes_per_element == 8
+
+    def test_fp16_halves_simulated_sync_cost(self):
+        """End to end: with_precision(2) halves the simulator's all_reduce
+        busy time for a data-parallel run (Figure 12's premise)."""
+        from repro.core.schedule import data_parallel_schedule
+        from repro.core.topology import cluster_a
+        from repro.profiler import analytic_profile
+        from repro.sim.executor import SimOptions, simulate
+
+        fp32 = analytic_profile("gnmt8")
+        fp16 = fp32.with_precision(2)
+        topo = cluster_a(1)
+        options = SimOptions(sync_mode="bsp")
+
+        def sync_cost(profile):
+            sched = data_parallel_schedule(4, 8, num_layers=len(profile))
+            sim = simulate(sched, profile, topo, options)
+            return sum(sim.sync_busy.values())
+
+        full = sync_cost(fp32)
+        half = sync_cost(fp16)
+        assert full > 0
+        assert half == pytest.approx(full / 2, rel=1e-12)
 
 
 class TestRuntimeAccounting:

@@ -1,0 +1,334 @@
+"""Memory-faithful planning: the footprint-refined solver.
+
+The DP's historical ``_memory_ok`` bound charges every stage
+``total_workers`` weight versions; the simulator's
+``pipeline_memory_footprint`` charges the §3.3 warmup depth
+(``ceil(downstream / replicas)`` — NOAM at the input stage, 1 at the
+output stage).  ``PipeDreamOptimizer(memory_refine=True)`` (the default
+whenever a limit is set) runs a second, suffix-form DP whose feasibility
+mask uses the exact depth and whose sync/boundary costs use the same
+placement model as the candidate scoring, then re-checks every candidate
+against the true footprint.
+
+This file covers:
+
+* the §3.3 pinning of ``pipeline_memory_footprint`` itself,
+* scalar/vectorized bitwise identity of refined solves (differential,
+  `test_partition_evaluator_equiv`-style),
+* the recovery property on the memory-limited VGG-16 scenario (the perf
+  workload's acceptance bar), and
+* hypothesis fuzz: refined plans always fit, and the refined feasible
+  set subsumes the worst-case-bound feasible set.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    PipeDreamOptimizer,
+    Stage,
+    evaluate_partition_details,
+)
+from repro.core.profile import LayerProfile, ModelProfile
+from repro.core.schedule import warmup_count
+from repro.core.topology import cluster_a, cluster_b, cluster_c, make_cluster
+from repro.profiler import analytic_profile
+from repro.sim.memory import pipeline_memory_footprint
+
+TOPO_A = cluster_a(4)
+VGG_LIMIT = 7e9  # binding for vgg16 @ 16 workers (the perf workload cap)
+
+
+# ----------------------------------------------------------------------
+# §3.3 pinning: the footprint formula is depth x (weights + acts)
+# ----------------------------------------------------------------------
+
+class TestSection33Footprint:
+    def _profile(self):
+        layers = [
+            LayerProfile("a", 1.0, 100, 1000),
+            LayerProfile("b", 1.0, 200, 2000),
+            LayerProfile("c", 1.0, 300, 3000),
+            LayerProfile("d", 1.0, 400, 4000),
+        ]
+        return ModelProfile("toy", layers, batch_size=1)
+
+    def test_input_stage_holds_noam_versions(self):
+        """Input stage: NOAM x (weights + acts); output stage: 1 x."""
+        profile = self._profile()
+        stages = [Stage(0, 2, 1), Stage(2, 3, 1), Stage(3, 4, 1)]
+        noam = warmup_count(stages, 0)
+        assert noam == 3  # straight 3-stage pipeline
+        foot = pipeline_memory_footprint(profile, stages)
+        assert foot[0] == noam * ((1000 + 2000) + (100 + 200))
+        assert foot[1] == 2 * (3000 + 300)
+        assert foot[-1] == 1 * (4000 + 400)
+
+    def test_replicated_input_stage_depth(self):
+        """Depth is ceil(downstream / replicas), not raw worker count."""
+        profile = self._profile()
+        stages = [Stage(0, 2, 3), Stage(2, 4, 1)]
+        # 4 workers at-or-downstream of stage 0, 3 replicas -> depth 2.
+        assert warmup_count(stages, 0) == 2
+        foot = pipeline_memory_footprint(profile, stages)
+        assert foot[0] == 2 * ((1000 + 2000) + (100 + 200))
+        assert foot[1] == 1 * ((3000 + 4000) + (300 + 400))
+
+    def test_in_flight_override(self):
+        profile = self._profile()
+        stages = [Stage(0, 4, 1)]
+        assert pipeline_memory_footprint(profile, stages) == [
+            1 * (10000 + 1000)
+        ]
+        assert pipeline_memory_footprint(profile, stages, in_flight=[5]) == [
+            5 * (10000 + 1000)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Differential: refined solves are bitwise-identical across twins
+# ----------------------------------------------------------------------
+
+def assert_refined_solves_identical(profile, topology, limit, **kw):
+    vec = PipeDreamOptimizer(
+        profile, topology, memory_limit_bytes=limit, vectorize=True, **kw
+    ).solve()
+    ref = PipeDreamOptimizer(
+        profile, topology, memory_limit_bytes=limit, vectorize=False, **kw
+    ).solve()
+    assert vec.stages == ref.stages
+    assert vec.slowest_stage_time == ref.slowest_stage_time
+    assert vec.memory_bytes == ref.memory_bytes
+    assert vec.memory_limit_bytes == ref.memory_limit_bytes == limit
+    return vec
+
+
+@pytest.mark.parametrize("model", ("vgg16", "resnet50", "gnmt8", "alexnet"))
+def test_refined_solve_matches_scalar(model):
+    profile = analytic_profile(model)
+    free = PipeDreamOptimizer(profile, TOPO_A).solve()
+    # A binding-but-feasible limit: 80% of the free plan's worst worker.
+    limit = 0.8 * max(pipeline_memory_footprint(profile, free.stages))
+    plan = assert_refined_solves_identical(profile, TOPO_A, limit)
+    assert max(plan.memory_bytes) <= limit
+
+
+@pytest.mark.parametrize(
+    "topo",
+    [cluster_a(2), cluster_b(2), cluster_c(4),
+     make_cluster("flat8", 8, 1, 40.0, 40.0)],
+    ids=lambda t: t.name,
+)
+def test_refined_solve_matches_scalar_across_topologies(topo):
+    profile = analytic_profile("vgg16")
+    free = PipeDreamOptimizer(profile, topo).solve()
+    limit = 0.9 * max(pipeline_memory_footprint(profile, free.stages))
+    assert_refined_solves_identical(profile, topo, limit)
+
+
+def test_refined_solver_is_memoized():
+    profile = analytic_profile("vgg16")
+    opt = PipeDreamOptimizer(profile, TOPO_A, memory_limit_bytes=VGG_LIMIT)
+    first = opt.solve()
+    second = opt.solve()
+    assert first.stages == second.stages
+    assert first.slowest_stage_time == second.slowest_stage_time
+
+
+# ----------------------------------------------------------------------
+# The recovery property (the perf workload's acceptance scenario)
+# ----------------------------------------------------------------------
+
+class TestVgg16Recovery:
+    def test_refined_beats_worst_case_bound(self):
+        """At 7 GB the bound solver settles for 14-1-1 (whose input stage
+        in fact *overflows* the cap); the refined pass finds a strictly
+        faster plan that genuinely fits."""
+        profile = analytic_profile("vgg16")
+        bound = PipeDreamOptimizer(
+            profile, TOPO_A, memory_limit_bytes=VGG_LIMIT, memory_refine=False
+        ).solve()
+        refined = PipeDreamOptimizer(
+            profile, TOPO_A, memory_limit_bytes=VGG_LIMIT
+        ).solve()
+        assert refined.slowest_stage_time < bound.slowest_stage_time
+        assert max(refined.memory_bytes) <= VGG_LIMIT
+        # The bound's own plan is the cautionary tale: its worst-case
+        # arithmetic admitted a plan whose true footprint busts the cap.
+        assert max(pipeline_memory_footprint(profile, bound.stages)) \
+            > VGG_LIMIT
+
+    def test_refined_result_echoes_memory_fields(self):
+        profile = analytic_profile("vgg16")
+        plan = PipeDreamOptimizer(
+            profile, TOPO_A, memory_limit_bytes=VGG_LIMIT
+        ).solve()
+        assert plan.memory_limit_bytes == VGG_LIMIT
+        assert len(plan.memory_bytes) == len(plan.stages)
+        assert plan.memory_bytes == tuple(
+            pipeline_memory_footprint(profile, plan.stages)
+        )
+
+    def test_unconstrained_result_has_footprint_no_limit(self):
+        profile = analytic_profile("vgg16")
+        plan = PipeDreamOptimizer(profile, TOPO_A).solve()
+        assert plan.memory_limit_bytes is None
+        assert plan.memory_bytes == tuple(
+            pipeline_memory_footprint(profile, plan.stages)
+        )
+
+    def test_refine_off_reproduces_bound_only_behavior(self):
+        profile = analytic_profile("vgg16")
+        off = PipeDreamOptimizer(
+            profile, TOPO_A, memory_limit_bytes=VGG_LIMIT, memory_refine=False
+        ).solve()
+        off_scalar = PipeDreamOptimizer(
+            profile, TOPO_A, memory_limit_bytes=VGG_LIMIT,
+            memory_refine=False, vectorize=False,
+        ).solve()
+        assert off.stages == off_scalar.stages
+        assert off.slowest_stage_time == off_scalar.slowest_stage_time
+
+    def test_impossible_limit_raises(self):
+        profile = analytic_profile("vgg16")
+        with pytest.raises(RuntimeError):
+            PipeDreamOptimizer(
+                profile, TOPO_A, memory_limit_bytes=1.0
+            ).solve()
+        with pytest.raises(RuntimeError):
+            PipeDreamOptimizer(
+                profile, TOPO_A, memory_limit_bytes=1.0, vectorize=False
+            ).solve()
+
+
+# ----------------------------------------------------------------------
+# PartitionEvaluation memory fields
+# ----------------------------------------------------------------------
+
+def test_evaluation_details_carry_memory():
+    profile = analytic_profile("vgg16")
+    stages = [Stage(0, 10, 9), Stage(10, 15, 6), Stage(15, len(profile), 1)]
+    details = evaluate_partition_details(
+        profile, stages, TOPO_A, memory_limit_bytes=VGG_LIMIT
+    )
+    assert details.memory_bytes == tuple(
+        pipeline_memory_footprint(profile, stages)
+    )
+    assert details.memory_limit_bytes == VGG_LIMIT
+    assert details.fits_memory
+    tight = evaluate_partition_details(
+        profile, stages, TOPO_A, memory_limit_bytes=1.0
+    )
+    assert not tight.fits_memory
+    free = evaluate_partition_details(profile, stages, TOPO_A)
+    assert free.memory_limit_bytes is None
+    assert free.fits_memory  # no limit -> vacuously true
+
+
+# ----------------------------------------------------------------------
+# Hypothesis fuzz: refined plans fit; refined subsumes the bound
+# ----------------------------------------------------------------------
+
+layer_specs = st.lists(
+    st.tuples(
+        st.floats(0.05, 10.0, allow_nan=False),  # compute time
+        st.integers(0, 100_000),                 # activation bytes
+        st.integers(0, 1_000_000),               # weight bytes
+        st.sampled_from(["conv", "fc", "lstm", "embedding"]),
+    ),
+    min_size=2,
+    max_size=6,
+)
+
+
+def build_profile(spec):
+    layers = [LayerProfile(f"l{i}", c, a, w, kind=k)
+              for i, (c, a, w, k) in enumerate(spec)]
+    return ModelProfile("fuzz", layers, batch_size=1)
+
+
+class TestMemoryRefineFuzz:
+    @given(
+        spec=layer_specs,
+        gpus=st.integers(2, 4),
+        servers=st.integers(1, 2),
+        intra=st.floats(1.0, 1000.0, allow_nan=False),
+        inter=st.floats(0.5, 100.0, allow_nan=False),
+        limit_scale=st.floats(0.05, 8.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_refined_plans_fit_and_subsume_bound(
+        self, spec, gpus, servers, intra, inter, limit_scale
+    ):
+        profile = build_profile(spec)
+        topo = make_cluster("fuzz", gpus, servers, intra, inter)
+        model_bytes = sum(
+            l.weight_bytes + l.activation_bytes for l in profile.layers
+        )
+        limit = max(1.0, limit_scale * model_bytes)
+
+        def solve(**kw):
+            try:
+                return PipeDreamOptimizer(
+                    profile, topo, memory_limit_bytes=limit, **kw
+                ).solve()
+            except RuntimeError:
+                return None
+
+        refined = solve()
+        refined_scalar = solve(vectorize=False)
+        bound = solve(memory_refine=False)
+
+        # Twins agree on feasibility and (bitwise) on the plan.
+        assert (refined is None) == (refined_scalar is None)
+        if refined is not None:
+            assert refined.stages == refined_scalar.stages
+            assert (refined.slowest_stage_time
+                    == refined_scalar.slowest_stage_time)
+            # (a) every refined plan truly fits on every worker.
+            foot = pipeline_memory_footprint(profile, refined.stages)
+            assert max(foot) <= limit
+            assert refined.memory_bytes == tuple(foot)
+
+        # (b) the refined feasible set subsumes the bound's: whenever the
+        # bound solver finds a *genuinely* feasible plan, the refined
+        # solver also succeeds, at no worse a cost (modulo the solver's
+        # 1.03 prefer-fewer-stages tolerance).
+        if bound is not None and max(
+            pipeline_memory_footprint(profile, bound.stages)
+        ) <= limit:
+            assert refined is not None
+            assert refined.slowest_stage_time <= (
+                bound.slowest_stage_time * 1.03 * (1.0 + 1e-9)
+            )
+
+    @given(
+        spec=layer_specs,
+        limit_scale=st.floats(0.1, 4.0, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_refined_depth_mask_matches_simulator(self, spec, limit_scale):
+        """The suffix DP's per-stage depth equals the simulator's warmup
+        count for the plan it emits — so the final footprint check never
+        discards the refined candidate."""
+        profile = build_profile(spec)
+        topo = make_cluster("fuzz", 4, 1, 40.0, 40.0)
+        model_bytes = sum(
+            l.weight_bytes + l.activation_bytes for l in profile.layers
+        )
+        limit = max(1.0, limit_scale * model_bytes)
+        opt = PipeDreamOptimizer(profile, topo, memory_limit_bytes=limit)
+        stages = opt._solve_refined(topo)
+        if stages is None:
+            return
+        total = sum(s.replicas for s in stages)
+        for s, stage in enumerate(stages):
+            downstream = sum(st_.replicas for st_ in stages[s:])
+            depth = warmup_count(stages, s)
+            assert depth == math.ceil(downstream / stage.replicas)
+        foot = pipeline_memory_footprint(profile, stages)
+        assert max(foot) <= limit
+        assert total == topo.total_workers

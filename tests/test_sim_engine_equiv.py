@@ -96,6 +96,17 @@ SCENARIOS = {
         one_f_one_b_rr_schedule([Stage(0, len(VGG), 8)], 40), VGG,
         cluster_b(1),
         SimOptions(worker_speed={2: 0.4, 6: 2.5}, nic_contention=True)),
+    # ASP over a *data-parallel* schedule with enough minibatches that the
+    # pipedream rnd-2 backward gate is live (rnd reaches 4): every replica
+    # runs every minibatch, so each round holds replicas x per-sweep
+    # UPDATEs.  The old round-robin membership formula closed rounds after
+    # the first sweep and re-committed them per later arrival, making
+    # update_done (and this gate) commit-order dependent — the engines
+    # disagreed on the record timeline under stragglers.
+    "asp_dp_rounds_stragglers": lambda: (
+        data_parallel_schedule(8, 40, num_layers=len(VGG)), VGG,
+        cluster_b(1),
+        SimOptions(worker_speed={1: 0.45, 5: 2.3}, nic_contention=True)),
     # Replicated-stage 1F1B-RR under stragglers: weight syncs on both
     # 8-replica groups interleave with the pipeline's P2P transfers.
     "rr_8_8_stragglers_nic": lambda: (

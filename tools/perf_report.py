@@ -49,6 +49,20 @@ def main(argv: list[str]) -> int:
             f"event engine: {speed['speedup']:.2f}x over reference, "
             f"identical timeline: {speed['identical_timeline']}"
         )
+    mem = results.get("memory_refined_solve_vgg16_16w", {}).get("detail", {})
+    if mem:
+        print(
+            f"refined plan {mem['config']} (bound picked {mem['bound_config']} "
+            f"at {mem['memory_limit_gb']:.0f} GB/worker):"
+        )
+        print("  stage         " + "  ".join(
+            f"{i:>7}" for i in range(len(mem["stage_seconds"]))))
+        print("  seconds       " + "  ".join(
+            f"{t:7.4f}" for t in mem["stage_seconds"]))
+        print("  boundary s    " + "  ".join(
+            f"{t:7.4f}" for t in mem["boundary_seconds"]) + "      - ")
+        print("  memory (GB)   " + "  ".join(
+            f"{g:7.2f}" for g in mem["stage_memory_gb"]))
     return 0
 
 
