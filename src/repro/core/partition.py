@@ -150,16 +150,21 @@ class PipeDreamOptimizer:
             DP per level, innermost first.
         allow_replication: when False, every stage is pinned to one worker
             (used for straight-pipeline ablations).
-        memory_limit_bytes: optional per-worker memory capacity.  The DP
-            prices candidate stages with a cheap worst-case bound (weight
-            versions + activation stashes for the maximal number of
-            in-flight minibatches), as in §3.1's constraint list; with
+        memory_limit_bytes: optional per-worker memory capacity.  All
+            feasibility checks price stages through the one shared §3.3
+            kernel (:func:`repro.sim.memory.stage_memory_cost`); they only
+            differ in the depth/replica arguments they plug in.  The
+            per-level DPs use a cheap per-span *bound* (see
+            :meth:`_bound_matrix`), as in §3.1's constraint list; with
             ``memory_refine`` (default) :meth:`solve` then re-checks every
             candidate plan against the simulator's *true* per-stage
             footprint (:func:`repro.sim.memory.pipeline_memory_footprint`
             under 1F1B ``warmup_count`` depths) and runs a second,
-            depth-aware DP pass that can recover plans the worst-case
-            bound over-rejects.
+            depth-aware DP pass whose mask evaluates the kernel at the
+            exact warmup depth.  The bound is a relaxation of the exact
+            mask, which in turn equals the footprint, so phase-1 pruning
+            can never discard a plan the simulator admits
+            (bound-admitted ⊇ refined-admitted ⊇ footprint-feasible).
         memory_refine: when True (default) and a memory limit is set,
             :meth:`solve` is memory-faithful end to end: plans that
             violate the true footprint are discarded even if the cheap
@@ -190,6 +195,12 @@ class PipeDreamOptimizer:
         self.memory_limit_bytes = memory_limit_bytes
         self.memory_refine = memory_refine
         self.vectorize = vectorize and np is not None
+        # The one shared memory formula (imported at call time because
+        # repro.sim.memory imports Stage/RECURRENT_KINDS from this module).
+        from repro.sim.memory import stage_memory_cost
+
+        self._stage_memory_cost = stage_memory_cost
+        self._bound_cache: Optional[List[List[float]]] = None
         #: level-table memo for the vectorized DP, keyed by the
         #: (count, bandwidth, allreduce_bandwidth) tuple of every level up
         #: to and including the one the table belongs to.  Subset topologies
@@ -236,15 +247,77 @@ class PipeDreamOptimizer:
         """Summed activation stash of layers i..j inclusive (one minibatch)."""
         return self._prefix_acts[j + 1] - self._prefix_acts[i]
 
-    def _memory_ok(self, i: int, j: int, replicas_total: int) -> bool:
+    def _memory_ok(self, i: int, j: int) -> bool:
+        """Phase-1 feasibility of span i..j: the shared-kernel bound."""
         if self.memory_limit_bytes is None:
             return True
-        weights = self._weights(i, j)
-        acts = self.profile.activation_bytes(j)
-        # Worst case: the input stage stashes one weight version and one
-        # activation set per in-flight minibatch, bounded by worker count.
-        versions = max(1, self.topology.total_workers)
-        return versions * (weights + acts) <= self.memory_limit_bytes
+        return self._bound_matrix()[i][j] <= self.memory_limit_bytes
+
+    def _bound_matrix(self) -> List[List[float]]:
+        """(n, n) per-span memory lower/upper bounds for phase-1 pruning.
+
+        Every entry is a :func:`repro.sim.memory.stage_memory_cost` value —
+        the bound differs from the refined mask and the simulated footprint
+        only in the depth/replica arguments, never in the formula.
+
+        With ``memory_refine`` the entry for span ``i..j`` is an *optimistic
+        lower bound* on the kernel cost of any flattened stage a completed
+        plan can carve out of the span: the span may be split internally by
+        inner DP levels, so the bound is per layer — the max over layers of
+        the single-layer cost at the minimum conceivable depth.  A stage
+        ending before the last layer always has a downstream stage, hence
+        warmup depth ``ceil(m/m') >= 2``; only a span reaching layer ``n-1``
+        can end in a depth-1 stage.  Passing ``replicas == depth`` prices
+        the deferred (BPTT) weight share at its floor of one stashed
+        version.  Because the refined mask evaluates the same kernel on the
+        whole span at the true depth, bound-admitted ⊇ refined-admitted.
+
+        Without ``memory_refine`` (bound-only solves) the entry is instead a
+        *conservative upper bound*: the whole span at depth ``W`` with no
+        replication relief — at most ``W`` versions of everything can ever
+        be in flight — so a bound-only solve never returns a plan whose
+        simulated footprint overflows the limit.
+        """
+        if self._bound_cache is not None:
+            return self._bound_cache
+        n = self._n
+        kernel = self._stage_memory_cost
+        inf = math.inf
+        bound = [[inf] * n for _ in range(n)]
+        if self.memory_refine:
+            layers = self._device_profile.layers
+            deferred = [
+                layer.weight_bytes if layer.kind in RECURRENT_KINDS else 0
+                for layer in layers
+            ]
+            def cost_at(l: int, depth: int) -> float:
+                return float(kernel(
+                    layers[l].weight_bytes, deferred[l],
+                    layers[l].activation_bytes, depth, depth,
+                ))
+            # A span reaching layer n-1 may place *any* of its layers in the
+            # final depth-1 stage, so its bound drops to the depth-1 floor.
+            floor_suffix = 0.0
+            for l in range(n - 1, -1, -1):
+                floor_suffix = max(floor_suffix, cost_at(l, 1))
+                bound[l][n - 1] = floor_suffix
+            for i in range(n):
+                running = 0.0
+                for j in range(i, n - 1):
+                    running = max(running, cost_at(j, 2))
+                    bound[i][j] = running
+        else:
+            W = max(1, self.topology.total_workers)
+            for i in range(n):
+                for j in range(i, n):
+                    bound[i][j] = float(kernel(
+                        self._weights(i, j),
+                        self._recurrent_weights(i, j),
+                        self._activation_sum(i, j),
+                        W, 1,
+                    ))
+        self._bound_cache = bound
+        return bound
 
     # ------------------------------------------------------------------
     # The hierarchical DP
@@ -263,13 +336,17 @@ class PipeDreamOptimizer:
           factor hierarchically (the form the paper's Table 1 reports).
 
         When a memory limit is set and ``memory_refine`` is on, feasibility
-        is two-phase: the per-level DPs keep their cheap worst-case bound
-        as a pre-filter, a *refined* flat DP with a per-stage depth-aware
-        mask (versions = ``ceil(total/replicas)``, the exact 1F1B
-        ``warmup_count``) widens the candidate set, and every candidate is
-        finally re-checked against the simulator's true per-stage
-        footprint before scoring.  Plans the worst-case bound over-rejects
-        are recovered; plans it wrongly admits are discarded.
+        is two-phase and every phase prices memory through the one shared
+        kernel (:func:`repro.sim.memory.stage_memory_cost`): the per-level
+        DPs pre-filter with the optimistic per-span bound of
+        :meth:`_bound_matrix` (a relaxation — it never rejects a span a
+        footprint-feasible plan needs), a *refined* flat DP evaluates the
+        kernel at the exact 1F1B depth (versions =
+        ``ceil(suffix/replicas)``, the exact ``warmup_count``), and every
+        candidate is finally re-checked against the simulator's true
+        per-stage footprint before scoring.  Plans the old worst-case
+        bound over-rejected are kept reachable; plans the bound admits but
+        the footprint rejects are discarded.
         """
         start_time = time.perf_counter()
         topology = self.topology
@@ -303,8 +380,18 @@ class PipeDreamOptimizer:
                     "no feasible partition found (memory limit too tight?)"
                 )
         else:
-            candidates = [self._solve_for(topo)
-                          for topo in self._decompositions(topology)]
+            # A binding limit can rule out one decomposition (the hierarchy
+            # masks whole spans) while the other still has feasible plans —
+            # only fail when *every* decomposition comes up empty.
+            for topo in self._decompositions(topology):
+                try:
+                    candidates.append(self._solve_for(topo))
+                except RuntimeError:
+                    pass
+            if not candidates:
+                raise RuntimeError(
+                    "no feasible partition found (memory limit too tight?)"
+                )
         # Note: the evaluator applies the topology's compute scale itself,
         # so the raw (reference-device) profile is passed here.  The
         # evaluator path follows the optimizer's own vectorize flag so the
@@ -364,21 +451,21 @@ class PipeDreamOptimizer:
     def _solve_refined(self, topology: Topology) -> Optional[List[Stage]]:
         """Placement-exact DP whose memory mask uses the *exact* 1F1B depth.
 
-        The worst-case bound charges every stage ``total_workers`` weight
-        versions, but §3.3's actual stash depth is the stage's warmup
-        count ``ceil(sum_{t>=s} r_t / r_s)`` — NOAM at the input stage, 1
-        at the output stage.  Depth depends on the workers *downstream* of
-        a stage, which the (i→j, m) recurrence cannot see, so this pass
+        §3.3's actual stash depth is the stage's warmup count
+        ``ceil(sum_{t>=s} r_t / r_s)`` — NOAM at the input stage, 1 at the
+        output stage.  Depth depends on the workers *downstream* of a
+        stage, which the (i→j, m) recurrence cannot see, so this pass
         reformulates the DP over layer suffixes: ``R(j, m)`` is the best
         pipeline over layers ``j..n-1`` using exactly ``m`` workers.  A
         leading stage ``j..k`` on ``m'`` of those workers then has exactly
         ``m`` workers at-or-downstream, so its true depth is
         ``ceil(m / m')`` and the mask
 
-            ceil(m / m') * (stage weights + stage activation stash) <= L
+            stage_memory_cost(weights, deferred, acts, ceil(m/m'), m') <= L
 
-        is precisely ``pipeline_memory_footprint <= L`` for that stage in
-        any plan this DP emits.
+        — the shared §3.3 kernel at the exact depth and replica count — is
+        precisely ``pipeline_memory_footprint <= L`` for that stage in any
+        plan this DP emits.
 
         The suffix form has a second payoff: with the evaluator's
         stage-major packing, a suffix of ``m`` workers occupies workers
@@ -468,8 +555,11 @@ class PipeDreamOptimizer:
         if mp > 1 and not self.allow_replication:
             return math.inf
         versions = -(-m // mp)  # exact 1F1B depth: ceil(m / m')
-        payload = self._weights(j, k) + self._activation_sum(j, k)
-        if versions * payload > limit:
+        cost = self._stage_memory_cost(
+            self._weights(j, k), self._recurrent_weights(j, k),
+            self._activation_sum(j, k), versions, mp,
+        )
+        if cost > limit:
             return math.inf
         compute_term = self._time(j, k) / mp
         if mp == 1:
@@ -548,7 +638,7 @@ class PipeDreamOptimizer:
         compute = pt[None, 1:] - pt[:n, None]
         Wt = pw[None, 1:] - pw[:n, None]
         D = pr[None, 1:] - pr[:n, None]
-        payload = Wt + (pa[None, 1:] - pa[:n, None])
+        At = pa[None, 1:] - pa[:n, None]
         acts = np.asarray(
             [self.profile.activation_bytes(k) for k in range(n)]
         )
@@ -571,7 +661,8 @@ class PipeDreamOptimizer:
                     tm = tm + D * coeff / mp
                     tval = np.where(valid, tm, inf)
                 versions = -(-m // mp)
-                masked = np.where(versions * payload <= limit, tval, inf)
+                cost = self._stage_memory_cost(Wt, D, At, versions, mp)
+                masked = np.where(cost <= limit, tval, inf)
                 boundary = np.zeros(n)
                 if n > 1:
                     boundary[: n - 1] = (
@@ -632,13 +723,10 @@ class PipeDreamOptimizer:
         rows = np.arange(n)
         valid = rows[:, None] <= rows[None, :]  # i <= j
         if self.memory_limit_bytes is not None:
-            acts = np.array(
-                [self.profile.activation_bytes(j) for j in range(n)]
-            )
-            weights = pw[None, 1:] - pw[:n, None]
-            versions = max(1, self.topology.total_workers)
+            # Same python-float bound table the scalar twin's _memory_ok
+            # reads — both phase-1 paths admit identical spans.
             feasible = valid & (
-                versions * (weights + acts[None, :]) <= self.memory_limit_bytes
+                np.asarray(self._bound_matrix()) <= self.memory_limit_bytes
             )
         else:
             feasible = valid
@@ -852,7 +940,7 @@ class PipeDreamOptimizer:
             compute = entry[0]
         if m > 1 and not self.allow_replication:
             return math.inf
-        if not self._memory_ok(i, j, m):
+        if not self._memory_ok(i, j):
             return math.inf
         compute_term = compute / m
         if m == 1:

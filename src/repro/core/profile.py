@@ -125,15 +125,21 @@ class ModelProfile:
         """Rescale all tensor sizes to a different element width (fp16/fp32).
 
         Compute time is kept unchanged: Figure 12 shows communication, not
-        compute, dominates the change between precisions.
+        compute, dominates the change between precisions.  Nonzero payloads
+        stay nonzero: truncating a 1-byte activation to 0 when downscaling
+        would make its boundary link free for the planner.
         """
         factor = bytes_per_element / self.bytes_per_element
+
+        def rescale(nbytes: int) -> int:
+            return 0 if nbytes == 0 else max(1, round(nbytes * factor))
+
         layers = [
             LayerProfile(
                 name=l.name,
                 compute_time=l.compute_time,
-                activation_bytes=int(l.activation_bytes * factor),
-                weight_bytes=int(l.weight_bytes * factor),
+                activation_bytes=rescale(l.activation_bytes),
+                weight_bytes=rescale(l.weight_bytes),
                 forward_time=l.forward_time,
                 kind=l.kind,
             )

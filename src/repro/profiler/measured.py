@@ -119,12 +119,15 @@ def profile_model(
     # runs float64 today, so this is 8) rather than hardcoded: downstream
     # payload sizing — ``with_precision`` rescaling, all_reduce volumes —
     # divides the byte counts above by this number, so the two must come
-    # from the same dtype or fp16 what-if sweeps silently mis-scale.
+    # from the same dtype or fp16 what-if sweeps silently mis-scale.  A
+    # model with no parameters has no dtype to read; fall back to the
+    # analytic profiler's fp32 default so the two profilers agree on
+    # allreduce sizing for identical models.
     itemsizes = {
         int(p.data.dtype.itemsize)
         for i in range(model.num_layers)
         for p in model.layer(i).parameters()
     }
-    bytes_per_element = max(itemsizes) if itemsizes else 8
+    bytes_per_element = max(itemsizes) if itemsizes else 4
     return ModelProfile(model.model_name, layers, batch_size=batch_size,
                         bytes_per_element=bytes_per_element)

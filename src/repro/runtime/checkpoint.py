@@ -20,6 +20,43 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 
+def _escape_name(name: str) -> str:
+    """Reversibly escape a parameter name for use as an npz key.
+
+    npz keys cannot contain ``/`` (numpy treats them as archive paths),
+    and ``.`` collides with the ``.npy`` member suffix.  The underscore is
+    doubled *first* so escape sequences can never be forged by the input:
+    ``conv__1.w`` and ``conv.1__w`` map to distinct keys (the old
+    ``.`` -> ``__`` scheme collapsed them).
+    """
+    return (name.replace("_", "__")
+                .replace(".", "_d")
+                .replace("/", "_s"))
+
+
+def _unescape_name(key: str) -> str:
+    """Exact inverse of :func:`_escape_name` (left-to-right scan)."""
+    out = []
+    i = 0
+    while i < len(key):
+        ch = key[i]
+        if ch == "_" and i + 1 < len(key):
+            nxt = key[i + 1]
+            if nxt == "_":
+                out.append("_")
+            elif nxt == "d":
+                out.append(".")
+            elif nxt == "s":
+                out.append("/")
+            else:  # not an escape sequence we emit; keep verbatim
+                out.append(ch + nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
 @dataclass(frozen=True)
 class CheckpointKey:
     stage: int
@@ -46,8 +83,9 @@ class CheckpointManager:
         key = CheckpointKey(stage, replica, epoch)
         path = os.path.join(self.directory, key.filename())
         tmp = path + ".tmp"
-        # npz keys cannot contain '/', so escape parameter paths.
-        escaped = {name.replace(".", "__"): value for name, value in state.items()}
+        # npz keys cannot contain '/' or '.', so escape parameter paths
+        # (reversibly — load_stage restores the originals).
+        escaped = {_escape_name(name): value for name, value in state.items()}
         with open(tmp, "wb") as f:
             np.savez(f, **escaped)
         os.replace(tmp, path)
@@ -73,7 +111,7 @@ class CheckpointManager:
         key = CheckpointKey(stage, replica, epoch)
         path = os.path.join(self.directory, key.filename())
         with np.load(path) as data:
-            return {name.replace("__", "."): data[name] for name in data.files}
+            return {_unescape_name(name): data[name] for name in data.files}
 
     def has_stage(self, stage: int, replica: int, epoch: int) -> bool:
         key = CheckpointKey(stage, replica, epoch)

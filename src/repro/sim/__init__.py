@@ -10,7 +10,13 @@ physical GPU clusters (DESIGN.md §2).
 
 from repro.sim.network import Placement, allreduce_time, transfer_time
 from repro.sim.executor import SimOptions, SimResult, OpRecord, simulate
-from repro.sim.memory import pipeline_memory_footprint, data_parallel_memory_footprint
+from repro.sim.memory import (
+    data_parallel_memory_footprint,
+    pipeline_memory_footprint,
+    stage_deferred_weight_bytes,
+    stage_memory_bytes,
+    stage_memory_cost,
+)
 from repro.sim.trace import chrome_trace_events, export_chrome_trace
 from repro.sim.sweep import (
     SweepError,
@@ -39,6 +45,9 @@ __all__ = [
     "simulate",
     "pipeline_memory_footprint",
     "data_parallel_memory_footprint",
+    "stage_memory_cost",
+    "stage_memory_bytes",
+    "stage_deferred_weight_bytes",
     "chrome_trace_events",
     "export_chrome_trace",
     "SweepRecord",

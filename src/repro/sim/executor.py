@@ -39,10 +39,11 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.partition import RECURRENT_KINDS, Stage, allreduce_bytes_per_worker
+from repro.core.partition import Stage, allreduce_bytes_per_worker
 from repro.core.profile import ModelProfile
 from repro.core.schedule import Op, OpKind, Schedule
 from repro.core.topology import Topology
+from repro.sim.memory import stage_deferred_weight_bytes
 from repro.sim.network import Placement, allreduce_time
 
 ENGINES = ("event", "reference")
@@ -236,12 +237,12 @@ class _SimCore:
         sync_deferred: List[float] = []
         for s, stage in enumerate(stages):
             workers = schedule.stage_workers[s]
-            stream_bytes = sum(
-                l.weight_bytes
-                for l in profile.layers[stage.start : stage.stop]
-                if l.kind not in RECURRENT_KINDS
+            # The same decomposition the planner's memory kernel prices:
+            # deferred = BPTT-accumulated weights (RECURRENT_KINDS).
+            deferred_bytes = stage_deferred_weight_bytes(
+                profile, stage.start, stage.stop
             )
-            deferred_bytes = stage_weight_bytes[s] - stream_bytes
+            stream_bytes = stage_weight_bytes[s] - deferred_bytes
             sync_stream.append(allreduce_time(self.placement, workers, stream_bytes))
             sync_deferred.append(allreduce_time(self.placement, workers, deferred_bytes))
             sync_duration.append(sync_stream[-1] + sync_deferred[-1])

@@ -1,18 +1,34 @@
 """Per-worker memory accounting (§3.3 "Memory Overhead", Figures 16/18).
 
+This module is the *single source of truth* for per-stage memory: the
+partitioner's phase-1 bound, the refined suffix DP's feasibility masks
+(scalar and vectorized twins), and the simulator/strategy footprint all
+price stashed state through :func:`stage_memory_cost` /
+:func:`stage_memory_bytes`.  There are deliberately no other payload
+formulas in the codebase — keeping one formula is what guarantees the
+planner's bound-admitted ⊇ refined-admitted ⊇ footprint-feasible
+invariant (see ``docs/INTERNALS.md`` §7).
+
 PipeDream's per-stage footprint is governed by the number of in-flight
-minibatches a stage holds: each needs a stashed weight version and stashed
-activations.  The in-flight count at stage ``s`` is the stage's warmup
-depth — ``ceil(sum_{t>=s} r_t / r_s)`` — which equals NOAM at the input
-stage and 1 at the output stage.  Data parallelism holds exactly one weight
-version and one activation set for the whole model on every worker.
+minibatches a stage holds.  The in-flight count at stage ``s`` is the
+stage's warmup depth — ``ceil(sum_{t>=s} r_t / r_s)`` — which equals NOAM
+at the input stage and 1 at the output stage.  Per in-flight minibatch a
+replica stashes one activation set and (for weight stashing) one weight
+version, with one §3.3 refinement: weights whose gradients accumulate
+across BPTT timesteps (the evaluator's *non-overlappable* / deferred
+share, :data:`repro.core.partition.RECURRENT_KINDS`) only apply their
+update at round boundaries — once per ``replicas`` minibatches of the
+stage's round-robin stream — so a replica's in-flight window spans only
+``ceil(depth / replicas)`` distinct versions of them.  Data parallelism
+holds exactly one weight version and one activation set for the whole
+model on every worker.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.core.partition import Stage
+from repro.core.partition import RECURRENT_KINDS, Stage
 from repro.core.profile import ModelProfile
 from repro.core.schedule import warmup_count
 
@@ -30,6 +46,62 @@ def stage_activation_bytes(profile: ModelProfile, stage: Stage) -> int:
     return sum(l.activation_bytes for l in profile.layers[stage.start : stage.stop])
 
 
+def stage_deferred_weight_bytes(profile: ModelProfile, start: int, stop: int) -> int:
+    """Weight bytes of the stage's BPTT-accumulated (deferred) layers.
+
+    The same overlappable/non-overlappable decomposition the evaluator and
+    the simulator use for all_reduce pricing: gradients of these kinds only
+    materialize at the end of a backward pass, and their updates land at
+    round boundaries.
+    """
+    return sum(
+        l.weight_bytes
+        for l in profile.layers[start:stop]
+        if l.kind in RECURRENT_KINDS
+    )
+
+
+def stage_memory_cost(weight_bytes, deferred_weight_bytes, activation_bytes,
+                      depth, replicas=1):
+    """The shared §3.3 payload kernel: bytes one replica holds at ``depth``.
+
+    ``weight_bytes`` / ``deferred_weight_bytes`` / ``activation_bytes`` may
+    be scalars or numpy arrays (the vectorized DP twin passes range-table
+    arrays); ``depth`` and ``replicas`` are integers.  All consumers — the
+    bound, both refined-DP twins, and the footprint — evaluate exactly this
+    expression, so their admit/reject decisions can only differ through the
+    ``depth``/``replicas`` they plug in, never through the formula:
+
+    - eagerly-updated weights stash one version per in-flight minibatch
+      (``depth`` versions, the newest being the live copy);
+    - deferred (BPTT-accumulated) weights update once per round of
+      ``replicas`` minibatches, so the in-flight window spans only
+      ``ceil(depth / replicas)`` distinct versions of them;
+    - activations stash one set per in-flight minibatch (``depth`` sets).
+    """
+    stash_versions = -(-depth // replicas)  # ceil(depth / replicas)
+    eager = weight_bytes - deferred_weight_bytes
+    return (eager * depth
+            + deferred_weight_bytes * stash_versions
+            + activation_bytes * depth)
+
+
+def stage_memory_bytes(
+    profile: ModelProfile,
+    start: int,
+    stop: int,
+    depth: int,
+    replicas: int = 1,
+) -> int:
+    """Peak bytes one replica of stage ``[start, stop)`` holds at ``depth``
+    in-flight minibatches — the single source of truth for per-stage memory
+    (see module docstring)."""
+    weights = profile.weight_bytes(start, stop)
+    deferred = stage_deferred_weight_bytes(profile, start, stop)
+    acts = sum(l.activation_bytes for l in profile.layers[start:stop])
+    return int(stage_memory_cost(weights, deferred, acts, depth, replicas))
+
+
 def pipeline_memory_footprint(
     profile: ModelProfile,
     stages: Sequence[Stage],
@@ -39,18 +111,16 @@ def pipeline_memory_footprint(
 
     ``in_flight`` overrides the per-stage in-flight minibatch count (used by
     the Figure 18 pipeline-depth sweep); by default it is the stage's 1F1B
-    warmup depth.
+    warmup depth.  Each stage is priced by :func:`stage_memory_bytes` at
+    that depth and its own replica count.
     """
     footprints = []
     for s, stage in enumerate(stages):
         depth = in_flight[s] if in_flight is not None else warmup_count(stages, s)
-        weights = stage_weight_bytes(profile, stage)
-        activations = stage_activation_bytes(profile, stage)
-        # §3.3: one weight version and one activation stash per in-flight
-        # minibatch — ``depth`` of each in total (the live copy is the
-        # newest version), i.e. NOAM x (weights + acts) at the input stage
-        # and 1 x (weights + acts) at the output stage.
-        footprints.append(weights * depth + activations * depth)
+        footprints.append(
+            stage_memory_bytes(profile, stage.start, stage.stop, depth,
+                               stage.replicas)
+        )
     return footprints
 
 

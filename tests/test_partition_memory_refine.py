@@ -1,24 +1,30 @@
-"""Memory-faithful planning: the footprint-refined solver.
+"""Memory-faithful planning: one §3.3 formula, three consumers.
 
-The DP's historical ``_memory_ok`` bound charges every stage
-``total_workers`` weight versions; the simulator's
-``pipeline_memory_footprint`` charges the §3.3 warmup depth
-(``ceil(downstream / replicas)`` — NOAM at the input stage, 1 at the
-output stage).  ``PipeDreamOptimizer(memory_refine=True)`` (the default
-whenever a limit is set) runs a second, suffix-form DP whose feasibility
-mask uses the exact depth and whose sync/boundary costs use the same
-placement model as the candidate scoring, then re-checks every candidate
-against the true footprint.
+Every memory decision the planner makes goes through the shared kernel
+``repro.sim.memory.stage_memory_cost``: the phase-1 ``_memory_ok`` bound
+(an optimistic per-layer relaxation in refine mode, a conservative
+worst-case in bound-only mode), the refined suffix DP's feasibility mask
+(the kernel at the *exact* warmup depth ``ceil(suffix / replicas)``), and
+the simulator's ``pipeline_memory_footprint`` (the same kernel at the
+same depth).  The load-bearing invariant is therefore structural:
+
+    bound-admitted  ⊇  refined-admitted  =  footprint-feasible
+
+so phase-1 pruning can never discard a plan the simulator admits.
 
 This file covers:
 
-* the §3.3 pinning of ``pipeline_memory_footprint`` itself,
+* the §3.3 pinning of ``pipeline_memory_footprint`` itself, including
+  the deferred (BPTT-accumulated) weight-stash split on replicated
+  stages,
 * scalar/vectorized bitwise identity of refined solves (differential,
   `test_partition_evaluator_equiv`-style),
 * the recovery property on the memory-limited VGG-16 scenario (the perf
-  workload's acceptance bar), and
-* hypothesis fuzz: refined plans always fit, and the refined feasible
-  set subsumes the worst-case-bound feasible set.
+  workload's acceptance bar) and the regression the old boundary-
+  activation bound caused (feasible plans silently pruned),
+* hypothesis fuzz: the superset invariant above, refined plans always
+  fit, and the refined feasible set subsumes the worst-case-bound
+  feasible set.
 """
 
 import math
@@ -36,10 +42,14 @@ from repro.core.profile import LayerProfile, ModelProfile
 from repro.core.schedule import warmup_count
 from repro.core.topology import cluster_a, cluster_b, cluster_c, make_cluster
 from repro.profiler import analytic_profile
-from repro.sim.memory import pipeline_memory_footprint
+from repro.sim.memory import pipeline_memory_footprint, stage_memory_bytes
 
 TOPO_A = cluster_a(4)
 VGG_LIMIT = 7e9  # binding for vgg16 @ 16 workers (the perf workload cap)
+# The smallest cap the *conservative* bound-only mode can certify for
+# vgg16 @ 16 workers is ~13.2 GB (the early conv activations at
+# worst-case depth 16); 14 GB is feasible for it but still binding.
+BOUND_LIMIT = 14e9
 
 
 # ----------------------------------------------------------------------
@@ -86,6 +96,34 @@ class TestSection33Footprint:
         assert pipeline_memory_footprint(profile, stages, in_flight=[5]) == [
             5 * (10000 + 1000)
         ]
+
+    def test_deferred_weights_priced_per_round(self):
+        """BPTT-accumulated (lstm/embedding) weights update once per
+        round of ``replicas`` minibatches, so a replicated stage stashes
+        only ``ceil(depth / replicas)`` versions of them — eager weights
+        and activations still pay the full depth."""
+        layers = [
+            LayerProfile("enc", 1.0, 100, 1000, kind="lstm"),
+            LayerProfile("fc", 1.0, 10, 100, kind="fc"),
+        ]
+        profile = ModelProfile("rnn", layers, batch_size=1)
+        stages = [Stage(0, 1, 2), Stage(1, 2, 1)]
+        # Stage 0: 3 workers at-or-downstream / 2 replicas -> depth 2,
+        # but the lstm weights stash only ceil(2/2) = 1 version.
+        assert warmup_count(stages, 0) == 2
+        foot = pipeline_memory_footprint(profile, stages)
+        assert foot[0] == 1000 * 1 + 100 * 2  # deferred weights + acts
+        assert foot[1] == 1 * (100 + 10)
+        # The same stage unreplicated stashes depth versions of everything.
+        assert stage_memory_bytes(profile, 0, 1, 2, replicas=1) == \
+            2 * (1000 + 100)
+
+    def test_eager_stage_unchanged_by_deferred_split(self):
+        """Non-recurrent stages are priced exactly as before the split."""
+        profile = self._profile()  # kind defaults to "other"
+        stages = [Stage(0, 2, 3), Stage(2, 4, 1)]
+        foot = pipeline_memory_footprint(profile, stages)
+        assert foot[0] == 2 * ((1000 + 2000) + (100 + 200))
 
 
 # ----------------------------------------------------------------------
@@ -144,22 +182,37 @@ def test_refined_solver_is_memoized():
 
 class TestVgg16Recovery:
     def test_refined_beats_worst_case_bound(self):
-        """At 7 GB the bound solver settles for 14-1-1 (whose input stage
-        in fact *overflows* the cap); the refined pass finds a strictly
-        faster plan that genuinely fits."""
+        """At 7 GB the (now sound) conservative bound has *no* feasible
+        plan — any stage containing the ~820 MB early conv activations
+        costs worker-count x (weights + activation sum) > 13 GB at
+        worst-case depth — while the refined pass finds a plan that
+        genuinely fits.  (The old boundary-activation bound instead
+        *admitted* 14-1-1 here, whose true footprint busts the cap.)"""
         profile = analytic_profile("vgg16")
-        bound = PipeDreamOptimizer(
-            profile, TOPO_A, memory_limit_bytes=VGG_LIMIT, memory_refine=False
-        ).solve()
+        with pytest.raises(RuntimeError):
+            PipeDreamOptimizer(
+                profile, TOPO_A, memory_limit_bytes=VGG_LIMIT,
+                memory_refine=False,
+            ).solve()
         refined = PipeDreamOptimizer(
             profile, TOPO_A, memory_limit_bytes=VGG_LIMIT
         ).solve()
-        assert refined.slowest_stage_time < bound.slowest_stage_time
         assert max(refined.memory_bytes) <= VGG_LIMIT
-        # The bound's own plan is the cautionary tale: its worst-case
-        # arithmetic admitted a plan whose true footprint busts the cap.
-        assert max(pipeline_memory_footprint(profile, bound.stages)) \
-            > VGG_LIMIT
+
+    def test_bound_only_plans_are_sound(self):
+        """Where bound-only mode *is* feasible, its plan truly fits: the
+        conservative bound is an upper bound on the simulated footprint
+        (the old bound returned plans that overflowed the limit)."""
+        profile = analytic_profile("vgg16")
+        free = PipeDreamOptimizer(profile, TOPO_A).solve()
+        plan = PipeDreamOptimizer(
+            profile, TOPO_A, memory_limit_bytes=BOUND_LIMIT,
+            memory_refine=False,
+        ).solve()
+        assert plan.stages != free.stages  # the cap is binding
+        assert max(
+            pipeline_memory_footprint(profile, plan.stages)
+        ) <= BOUND_LIMIT
 
     def test_refined_result_echoes_memory_fields(self):
         profile = analytic_profile("vgg16")
@@ -183,10 +236,11 @@ class TestVgg16Recovery:
     def test_refine_off_reproduces_bound_only_behavior(self):
         profile = analytic_profile("vgg16")
         off = PipeDreamOptimizer(
-            profile, TOPO_A, memory_limit_bytes=VGG_LIMIT, memory_refine=False
+            profile, TOPO_A, memory_limit_bytes=BOUND_LIMIT,
+            memory_refine=False,
         ).solve()
         off_scalar = PipeDreamOptimizer(
-            profile, TOPO_A, memory_limit_bytes=VGG_LIMIT,
+            profile, TOPO_A, memory_limit_bytes=BOUND_LIMIT,
             memory_refine=False, vectorize=False,
         ).solve()
         assert off.stages == off_scalar.stages
@@ -202,6 +256,51 @@ class TestVgg16Recovery:
             PipeDreamOptimizer(
                 profile, TOPO_A, memory_limit_bytes=1.0, vectorize=False
             ).solve()
+
+
+# ----------------------------------------------------------------------
+# Regression: the old boundary-activation bound silently pruned feasible
+# plans
+# ----------------------------------------------------------------------
+
+class TestOldBoundRegression:
+    """Pins a plan the old ``_memory_ok`` wrongly discarded.
+
+    Two layers (w=50, a=10 each), two flat workers, limit 130.  The
+    fully-replicated single stage has true footprint ``depth 1 x (100
+    weights + 20 activations) = 120 <= 130``, but the old bound charged
+    ``2 versions x (100 weights + 10 boundary activation) = 220 > 130``
+    and pruned it in phase 1 — the solver then silently fell back to the
+    straight pipeline and nothing failed loudly.
+    """
+
+    def _setup(self):
+        layers = [
+            LayerProfile("a", 1.0, 10, 50),
+            LayerProfile("b", 1.0, 10, 50),
+        ]
+        profile = ModelProfile("toy", layers, batch_size=1)
+        # Fast links so the DP plan ties the straight plan on compute and
+        # the solver's prefer-fewer-stages tie-break must pick it.
+        topo = make_cluster("flat2", 2, 1, 1000.0, 1000.0)
+        return profile, topo
+
+    def test_recovers_plan_old_bound_pruned(self):
+        profile, topo = self._setup()
+        dp_plan = [Stage(0, 2, 2)]
+        assert pipeline_memory_footprint(profile, dp_plan) == [120]
+        for vectorize in (True, False):
+            plan = PipeDreamOptimizer(
+                profile, topo, memory_limit_bytes=130.0, vectorize=vectorize
+            ).solve()
+            assert plan.stages == dp_plan
+
+    def test_phase1_bound_admits_the_span(self):
+        """The per-layer optimistic bound admits the span the old
+        whole-span worst-case arithmetic rejected."""
+        profile, topo = self._setup()
+        opt = PipeDreamOptimizer(profile, topo, memory_limit_bytes=130.0)
+        assert opt._memory_ok(0, 1)
 
 
 # ----------------------------------------------------------------------
@@ -248,6 +347,92 @@ def build_profile(spec):
     layers = [LayerProfile(f"l{i}", c, a, w, kind=k)
               for i, (c, a, w, k) in enumerate(spec)]
     return ModelProfile("fuzz", layers, batch_size=1)
+
+
+def _all_plans(n, total_workers):
+    """Every contiguous partition of ``n`` layers with every replica
+    assignment summing to ``total_workers`` (the brute-force plan space)."""
+
+    def spans(start):
+        if start == n:
+            yield []
+            return
+        for stop in range(start + 1, n + 1):
+            for rest in spans(stop):
+                yield [(start, stop)] + rest
+
+    def replicas(k, total):
+        if k == 1:
+            yield [total]
+            return
+        for r in range(1, total - k + 2):
+            for rest in replicas(k - 1, total - r):
+                yield [r] + rest
+
+    for layout in spans(0):
+        if len(layout) > total_workers:
+            continue
+        for reps in replicas(len(layout), total_workers):
+            yield [Stage(a, b, r) for (a, b), r in zip(layout, reps)]
+
+
+class TestSupersetInvariant:
+    """The acceptance invariant, checked against brute-force enumeration:
+
+        bound-admitted  ⊇  refined-admitted  =  footprint-feasible
+
+    For *every* plan in the plan space (not just the ones the DP emits):
+    if its simulated footprint fits, then (a) the refined mask — the
+    shared kernel at depth ``ceil(suffix / replicas)`` — admits every
+    stage with exactly the footprint's numbers, and (b) the phase-1 bound
+    admits every stage span, so phase-1 pruning cannot have discarded it.
+    The conservative bound-only mode is checked in the other direction:
+    a plan whose every span it admits never overflows the limit.
+    """
+
+    @given(
+        spec=layer_specs,
+        workers=st.integers(2, 4),
+        limit_scale=st.floats(0.05, 6.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bound_superset_refined_superset_footprint(
+        self, spec, workers, limit_scale
+    ):
+        profile = build_profile(spec)
+        topo = make_cluster("fuzz", workers, 1, 40.0, 40.0)
+        model_bytes = sum(
+            l.weight_bytes + l.activation_bytes for l in profile.layers
+        )
+        limit = max(1.0, limit_scale * model_bytes)
+        refine_opt = PipeDreamOptimizer(
+            profile, topo, memory_limit_bytes=limit
+        )
+        bound_opt = PipeDreamOptimizer(
+            profile, topo, memory_limit_bytes=limit, memory_refine=False
+        )
+        n = len(profile)
+        for stages in _all_plans(n, workers):
+            foot = pipeline_memory_footprint(profile, stages)
+            suffix = [sum(s.replicas for s in stages[i:])
+                      for i in range(len(stages))]
+            for s, stage in enumerate(stages):
+                # refined-admitted = footprint-feasible: the suffix DP's
+                # exact depth is the simulator's warmup depth, so the
+                # mask value IS the footprint value.
+                depth = -(-suffix[s] // stage.replicas)
+                assert depth == warmup_count(stages, s)
+                assert stage_memory_bytes(
+                    profile, stage.start, stage.stop, depth, stage.replicas
+                ) == foot[s]
+            if max(foot) <= limit:
+                # bound ⊇ footprint-feasible: phase 1 admits every span.
+                for stage in stages:
+                    assert refine_opt._memory_ok(stage.start, stage.stop - 1)
+            if all(bound_opt._memory_ok(st_.start, st_.stop - 1)
+                   for st_ in stages):
+                # Conservative mode is sound: what it certifies, fits.
+                assert max(foot) <= limit
 
 
 class TestMemoryRefineFuzz:

@@ -51,6 +51,28 @@ class TestModelProfile:
         assert fp16.total_compute_time == toy_profile.total_compute_time
         assert fp16.bytes_per_element == 2
 
+    def test_with_precision_never_zeroes_nonzero_payloads(self):
+        """Downscaling must not truncate a 1-byte payload to 0 — a zeroed
+        activation makes its boundary link free for the planner."""
+        layers = [
+            LayerProfile("tiny", 1.0, 1, 1),
+            LayerProfile("odd", 1.0, 3, 5),
+            LayerProfile("zero", 1.0, 0, 0),
+        ]
+        profile = ModelProfile("m", layers, batch_size=1)
+        fp16 = profile.with_precision(2)
+        assert fp16.layers[0].activation_bytes >= 1
+        assert fp16.layers[0].weight_bytes >= 1
+        assert fp16.layers[1].activation_bytes == 2  # round, not truncate
+        # Zero payloads stay exactly zero (parameterless layers).
+        assert fp16.layers[2].activation_bytes == 0
+        assert fp16.layers[2].weight_bytes == 0
+        # Round-tripping the precision never zeroes what started nonzero.
+        back = fp16.with_precision(4)
+        for orig, rt in zip(profile.layers, back.layers):
+            assert (rt.activation_bytes > 0) == (orig.activation_bytes > 0)
+            assert (rt.weight_bytes > 0) == (orig.weight_bytes > 0)
+
     def test_json_roundtrip(self, toy_profile):
         restored = ModelProfile.from_json(toy_profile.to_json())
         assert restored.model_name == toy_profile.model_name

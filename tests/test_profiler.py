@@ -54,6 +54,41 @@ class TestMeasuredProfiler:
         profile = profile_model(model, tokens, num_iterations=1, warmup=0)
         assert len(profile) == model.num_layers
 
+    def test_parameterless_model_matches_analytic_default(self, rng):
+        """A model with no parameters has no dtype to read the element
+        width from; the fallback must agree with the analytic profiler's
+        fp32 default (4), not the engine's float64 (8) — otherwise the
+        same model gets 2x-different allreduce sizing depending on which
+        profiler built its profile."""
+        from repro.comm.collective import allreduce_bytes_for_profile
+        from repro.models.base import LayeredModel
+        from repro.nn import ReLU
+
+        model = LayeredModel("stateless", [("act0", ReLU()), ("act1", ReLU())])
+        measured = profile_model(model, rng.standard_normal((4, 8)),
+                                 num_iterations=1, warmup=0)
+        analytic = analytic_profile("vgg16")
+        assert measured.bytes_per_element == analytic.bytes_per_element == 4
+        # Zero weights -> zero allreduce volume on both paths, and the
+        # divisor the sizing uses is identical for both profiles.
+        assert allreduce_bytes_for_profile(measured, 4) == 0
+        assert measured.total_weight_bytes == 0
+
+    def test_parameterized_model_reads_dtype(self, rng):
+        """With parameters present the element width still comes from the
+        arrays themselves (the engine runs float64 today)."""
+        from repro.comm.collective import allreduce_bytes_for_profile
+
+        model = build_mlp(rng=rng)
+        profile = profile_model(model, rng.standard_normal((8, 16)),
+                                num_iterations=1, warmup=0)
+        assert profile.bytes_per_element == 8
+        # allreduce element count = weight bytes / element width; sizing
+        # re-applies the profile's own width, so the closed-form volume
+        # 2 (m-1) |w| is exact in bytes.
+        assert allreduce_bytes_for_profile(profile, 4) == \
+            2 * 3 * profile.total_weight_bytes
+
 
 class TestFlopsEstimates:
     def test_conv_flops(self, rng):

@@ -39,6 +39,41 @@ class TestCheckpointManager:
         for name in state:
             np.testing.assert_array_equal(loaded[name], state[name])
 
+    def test_adversarial_names_roundtrip(self, tmp_path):
+        """The escape is reversible: names built from '.', '_', '/' and
+        the escape letters themselves survive save/load unchanged — and
+        the historical collision pair maps to distinct entries."""
+        names = [
+            "conv__1.w",
+            "conv.1__w",  # collided with the previous under '.' -> '__'
+            "a_d_b",
+            "a.d.b",
+            "block/0/weight",
+            "_leading",
+            "trailing_",
+            "___",
+            "d_s.d_s",
+            "plain",
+        ]
+        state = {
+            name: np.full(3, float(i)) for i, name in enumerate(names)
+        }
+        manager = CheckpointManager(str(tmp_path))
+        manager.save_stage(0, 0, 0, state)
+        loaded = manager.load_stage(0, 0, 0)
+        assert set(loaded) == set(state)
+        for name in names:
+            np.testing.assert_array_equal(loaded[name], state[name])
+
+    def test_escape_unescape_inverse(self):
+        from repro.runtime.checkpoint import _escape_name, _unescape_name
+
+        for name in ["x.y", "x__y", "x_dy", "a/b_c.d", "", "_", "__", "._/"]:
+            escaped = _escape_name(name)
+            assert "." not in escaped and "/" not in escaped
+            assert _unescape_name(escaped) == name
+        assert _escape_name("conv__1.w") != _escape_name("conv.1__w")
+
     def test_has_stage(self, tmp_path):
         manager = CheckpointManager(str(tmp_path))
         manager.save_stage(1, 0, 2, {"w": np.zeros(2)})
