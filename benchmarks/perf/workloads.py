@@ -268,6 +268,70 @@ def memory_refined_solve():
     }
 
 
+@workload("mixed_precision_sweep")
+def mixed_precision_sweep():
+    """The figure-12 grid: 3 models x {4,16} workers x {dp, pd} x fp16/fp32.
+
+    Tracks the cost of the precision-doubled sweep and gates the fp16
+    claims behind boolean flags: on every communication-bound dp cell the
+    halved payloads must *strictly* shrink the modeled allreduce seconds
+    and every per-stage footprint, and at the 1.5 GB/worker cap the
+    refined VGG-16 @ 16w solve must be infeasible at fp32 yet feasible at
+    fp16 (the planner-integration acceptance bar).
+    """
+    topology = cluster_a(4)
+    models = ("vgg16", "resnet50", "gnmt8")
+    counts = (4, 16)
+
+    records = run_sweep(models, topology, counts,
+                        precisions=("fp32", "fp16"))
+    by = {(r.model, r.strategy, r.workers, r.precision): r for r in records}
+    dp_pairs = [
+        (by[(m, "dp", w, "fp32")], by[(m, "dp", w, "fp16")])
+        for m in models for w in counts
+    ]
+    allreduce_smaller = all(
+        r16.allreduce_seconds < r32.allreduce_seconds
+        for r32, r16 in dp_pairs
+    )
+    footprint_smaller = all(
+        h < f
+        for r32, r16 in dp_pairs
+        for h, f in zip(r16.stage_memory_bytes, r32.stage_memory_bytes)
+    )
+
+    # Planner integration: a cap only fp16 payloads fit under (the pinned
+    # crossover of tests/test_partition_memory_refine.py).
+    limit = 1.5e9
+    fp32_profile = analytic_profile("vgg16")
+    fp16_profile = analytic_profile("vgg16", bytes_per_element=2)
+    try:
+        PipeDreamOptimizer(
+            fp32_profile, topology, memory_limit_bytes=limit
+        ).solve()
+        fp32_infeasible = False
+    except RuntimeError:
+        fp32_infeasible = True
+    fp16_plan = PipeDreamOptimizer(
+        fp16_profile, topology, memory_limit_bytes=limit
+    ).solve()
+
+    seconds = best_of(
+        lambda: run_sweep(models, topology, counts,
+                          precisions=("fp32", "fp16"))
+    )
+    return seconds, {
+        "models": list(models),
+        "worker_counts": list(counts),
+        "cells": len(records),
+        "fp16_allreduce_strictly_smaller": allreduce_smaller,
+        "fp16_footprint_strictly_smaller": footprint_smaller,
+        "crossover_limit_gb": limit / 1e9,
+        "fp16_config_at_cap": fp16_plan.config_string,
+        "fp16_feasible_where_fp32_not": fp32_infeasible,
+    }
+
+
 @workload("full_sweep_7models")
 def full_sweep():
     """The headline sweep: 7 paper models x {4,8,16} workers x {dp, pd}.

@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli profile vgg16 --device v100
     python -m repro.cli plan vgg16 --cluster a --servers 4 [--json out.json]
     python -m repro.cli simulate vgg16 --cluster a --servers 4 --strategy pipedream
+    python -m repro.cli sweep vgg16 gnmt8 --counts 4 16 --precisions fp32 fp16
     python -m repro.cli timeline --stages 4 --minibatches 8 --schedule 1f1b
 """
 
@@ -17,6 +18,7 @@ from typing import List, Optional
 
 from repro.core.deploy import DeploymentPlan
 from repro.core.partition import PipeDreamOptimizer
+from repro.core.profile import PRECISION_BYTES
 from repro.core.schedule import (
     gpipe_schedule,
     model_parallel_schedule,
@@ -26,6 +28,9 @@ from repro.core.topology import cluster_1080ti, cluster_a, cluster_b, cluster_c
 from repro.profiler import analytic_profile, available_models
 from repro.sim import (
     SimOptions,
+    precision_chart,
+    records_to_csv,
+    run_sweep,
     simulate,
     simulate_data_parallel,
     simulate_gpipe,
@@ -85,7 +90,9 @@ def cmd_profile(args) -> int:
 
 def cmd_plan(args) -> int:
     topology = _topology(args)
-    profile = analytic_profile(args.model, device=args.device)
+    profile = analytic_profile(
+        args.model, device=args.device,
+        bytes_per_element=PRECISION_BYTES[args.precision])
     result = PipeDreamOptimizer(profile, topology).solve()
     plan = DeploymentPlan.from_partition(result)
     print(plan.describe())
@@ -101,7 +108,9 @@ def cmd_plan(args) -> int:
 
 def cmd_simulate(args) -> int:
     topology = _topology(args)
-    profile = analytic_profile(args.model, device=args.device)
+    profile = analytic_profile(
+        args.model, device=args.device,
+        bytes_per_element=PRECISION_BYTES[args.precision])
     drivers = {
         "pipedream": lambda: simulate_pipedream(profile, topology,
                                                 num_minibatches=args.minibatches),
@@ -124,6 +133,39 @@ def cmd_simulate(args) -> int:
         ["peak worker memory", f"{max(result.memory_per_worker) / 1e9:.2f} GB"],
     ]
     print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Figure-12-style grid: models x worker counts x strategies x precisions."""
+    topology = CLUSTERS[args.cluster](args.servers)
+    records = run_sweep(
+        args.models,
+        topology,
+        args.counts,
+        strategies=tuple(args.strategies),
+        device=args.device,
+        minibatches=args.minibatches,
+        precisions=tuple(args.precisions),
+    )
+    rows = [
+        [r.model, str(r.workers), r.strategy, r.precision, r.config,
+         f"{r.samples_per_second:,.0f}", f"{r.communication_overhead:.1%}",
+         f"{r.allreduce_seconds * 1e3:.2f} ms",
+         f"{max(r.stage_memory_bytes) / 1e9:.2f} GB"]
+        for r in records
+    ]
+    print(format_table(
+        ["model", "workers", "strategy", "precision", "config",
+         "samples/s", "comm", "allreduce/round", "peak stage mem"], rows
+    ))
+    if args.csv:
+        records_to_csv(records, args.csv)
+        print(f"wrote {args.csv}")
+    if args.svg:
+        chart = precision_chart(records, metric=args.metric)
+        chart.save(args.svg)
+        print(f"wrote {args.svg}")
     return 0
 
 
@@ -179,6 +221,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("plan", help="run the partitioning optimizer")
     p.add_argument("model", choices=available_models())
     add_cluster_args(p)
+    p.add_argument("--precision", default="fp32", choices=sorted(PRECISION_BYTES),
+                   help="element width the profile (and plan) assumes")
     p.add_argument("--json", help="write the deployment plan to this file")
     p.set_defaults(func=cmd_plan)
 
@@ -188,7 +232,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="pipedream",
                    choices=["pipedream", "dp", "mp", "gpipe"])
     p.add_argument("--minibatches", type=int, default=48)
+    p.add_argument("--precision", default="fp32", choices=sorted(PRECISION_BYTES),
+                   help="element width the profile is converted to")
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "sweep", help="fp16/fp32 figure-12 grid over models x worker counts")
+    p.add_argument("models", nargs="+", choices=available_models())
+    p.add_argument("--cluster", default="a", choices=sorted(CLUSTERS))
+    p.add_argument("--servers", type=int, default=4)
+    p.add_argument("--counts", type=int, nargs="+", default=[4, 8, 16],
+                   help="worker counts to sweep")
+    p.add_argument("--strategies", nargs="+", default=["dp", "pipedream"],
+                   choices=["dp", "pipedream", "mp", "gpipe"])
+    p.add_argument("--precisions", nargs="+", default=["fp32", "fp16"],
+                   choices=sorted(PRECISION_BYTES))
+    p.add_argument("--device", default="v100",
+                   choices=["v100", "1080ti", "titanx"])
+    p.add_argument("--minibatches", type=int, default=48)
+    p.add_argument("--metric", default="samples_per_second",
+                   help="SweepRecord field plotted by --svg")
+    p.add_argument("--csv", help="write the records to this CSV file")
+    p.add_argument("--svg", help="write a precision comparison chart here")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("timeline", help="print an ASCII pipeline timeline")
     p.add_argument("--stages", type=int, default=4)

@@ -12,6 +12,12 @@ import json
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
+#: Canonical precision names -> element width.  The single registry behind
+#: the sweep's precision axis, the CLI's ``--precision`` flag, and the AMP
+#: runtime; ``ModelProfile.with_precision(PRECISION_BYTES[p])`` converts a
+#: profile to precision ``p``.
+PRECISION_BYTES: Dict[str, int] = {"fp32": 4, "fp16": 2}
+
 
 @dataclass(frozen=True)
 class LayerProfile:

@@ -16,6 +16,7 @@ reproduce each strategy's **semantics**:
   per-batch flushes and optional activation recomputation (§2.2).
 """
 
+from repro.runtime.amp import AmpTrainer, GradScaler
 from repro.runtime.trainer import (
     SequentialTrainer,
     TrainingHistory,
@@ -31,9 +32,11 @@ from repro.runtime.loop import FitResult, fit
 from repro.runtime.threaded import ThreadedPipelineTrainer
 
 __all__ = [
+    "AmpTrainer",
     "CheckpointManager",
     "FitResult",
     "fit",
+    "GradScaler",
     "SequentialTrainer",
     "PipelineTrainer",
     "ThreadedPipelineTrainer",

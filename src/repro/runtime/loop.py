@@ -73,10 +73,14 @@ def fit(
     began = time.perf_counter()
     epochs_to_target: Optional[int] = None
     epoch = start_epoch - 1
+    grad_scaler = getattr(trainer, "grad_scaler", None)
     for epoch in range(start_epoch, epochs):
         loss = trainer.train_epoch(batches)
         metric = evaluate()
-        history.record(epoch, loss, metric, time.perf_counter() - began)
+        history.record(
+            epoch, loss, metric, time.perf_counter() - began,
+            loss_scale=None if grad_scaler is None else grad_scaler.scale,
+        )
         if verbose:
             print(f"epoch {epoch}: loss={loss:.4f} metric={metric:.4f}")
         if schedulers:

@@ -37,6 +37,7 @@ import numpy as np
 from repro.autodiff.engine import Tensor, no_grad
 from repro.comm import Network, ring_allreduce
 from repro.core.partition import Stage
+from repro.core.profile import PRECISION_BYTES
 from repro.core.schedule import (
     Op,
     OpKind,
@@ -48,6 +49,12 @@ from repro.models.base import LayeredModel
 from repro.nn.module import Module
 from repro.optim.optimizer import Optimizer
 from repro.optim.sgd import SGD
+from repro.runtime.amp import (
+    GradScaler,
+    cast_payload_fp16,
+    quantize_fp16,
+    upcast_payload,
+)
 
 
 def _wrap_element(element, first_stage: bool):
@@ -110,12 +117,14 @@ class _StageReplica:
         policy: str,
         optimizer_factory: Callable[[List], Optimizer],
         recompute_activations: bool = False,
+        precision: str = "fp32",
     ):
         self.stage_index = stage_index
         self.replica_index = replica_index
         self.module = module
         self.policy = policy
         self.recompute_activations = recompute_activations
+        self.precision = precision
         self.named_params = list(module.named_parameters())
         self.param_names = [name for name, _ in self.named_params]
         self.optimizer = optimizer_factory(module.parameters())
@@ -123,15 +132,33 @@ class _StageReplica:
             if not isinstance(self.optimizer, SGD):
                 raise ValueError("the 'none' policy requires an SGD optimizer")
             self.optimizer.in_place = True
-        self.store = WeightStore(
-            {name: p.data for name, p in self.named_params}, policy=policy
-        )
+        if precision == "fp16":
+            # Full-precision masters stay with the optimizer; every stashed
+            # weight version holds the actual ``np.float16`` copy, so the
+            # store's §3.3 memory accounting sees the halved footprint.
+            self.master: Optional[Dict[str, np.ndarray]] = {
+                name: p.data.copy() for name, p in self.named_params
+            }
+            initial = {
+                name: cast_payload_fp16(p.data) for name, p in self.named_params
+            }
+        else:
+            self.master = None
+            initial = {name: p.data for name, p in self.named_params}
+        self.store = WeightStore(initial, policy=policy)
         # In-flight state per minibatch.
         self.contexts: Dict[int, Tuple[Optional[Tensor], Tensor]] = {}
         self.forward_versions: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def _bind_version(self, version) -> None:
+        if self.precision == "fp16":
+            # Stored versions are fp16; compute runs on their exact values
+            # upcast to the engine dtype (fp16 numbers are representable
+            # exactly, so this is the cast-for-compute of the AMP recipe).
+            for name, param in self.named_params:
+                param.data = version.state[name].astype(np.float64)
+            return
         for name, param in self.named_params:
             param.data = version.state[name]
 
@@ -179,9 +206,16 @@ class _StageReplica:
         return Tensor(raw, requires_grad=not first_stage), raw
 
     def backward(self, minibatch: int, output_grad,
-                 loss_fn=None, target=None) -> Tuple[object, Dict[str, np.ndarray], float]:
+                 loss_fn=None, target=None,
+                 loss_scale: float = 1.0) -> Tuple[object, Dict[str, np.ndarray], float]:
         """Run the stage backward; returns (input grad payload, param grads,
-        loss)."""
+        loss).
+
+        ``loss_scale`` multiplies the loss before differentiation on the
+        output stage (AMP loss scaling); the returned loss value is always
+        the unscaled one.  Under fp16 the parameter gradients are
+        round-tripped through fp16 so overflow shows up as ``inf``.
+        """
         if self.policy != "none":
             version = self.store.weights_for_backward(minibatch)
         else:
@@ -201,13 +235,23 @@ class _StageReplica:
         if loss_fn is not None:
             loss = loss_fn(out, target)
             loss_value = loss.item()
-            loss.backward()
+            if loss_scale != 1.0:
+                (loss * loss_scale).backward()
+            else:
+                loss.backward()
         else:
             _payload_backward(out, output_grad)
-        grads = {
-            name: (p.grad if p.grad is not None else np.zeros_like(p.data))
-            for name, p in self.named_params
-        }
+        if self.precision == "fp16":
+            grads = {
+                name: (quantize_fp16(p.grad) if p.grad is not None
+                       else np.zeros_like(p.data))
+                for name, p in self.named_params
+            }
+        else:
+            grads = {
+                name: (p.grad if p.grad is not None else np.zeros_like(p.data))
+                for name, p in self.named_params
+            }
         return _payload_input_grad(inp), grads, loss_value
 
     def apply_update(self, averaged: Dict[str, np.ndarray]) -> int:
@@ -215,6 +259,16 @@ class _StageReplica:
         if self.policy == "none":
             self.optimizer.step([averaged[name] for name in self.param_names])
             return 0
+        if self.precision == "fp16":
+            # Step on the full-precision masters (the gradients arrive
+            # already unscaled), then commit the fp16 copy of the result.
+            for name, param in self.named_params:
+                param.data = self.master[name]
+            self.optimizer.step([averaged[name] for name in self.param_names])
+            self.master = {name: p.data for name, p in self.named_params}
+            return self.store.commit(
+                {name: cast_payload_fp16(p.data) for name, p in self.named_params}
+            )
         latest = self.store._latest
         self._bind_version(latest)
         self.optimizer.step([averaged[name] for name in self.param_names])
@@ -248,6 +302,10 @@ class PipelineStats:
     forward_versions: Dict[Tuple[int, int], int] = field(default_factory=dict)
     peak_memory_bytes: Dict[int, int] = field(default_factory=dict)
     peak_live_versions: Dict[int, int] = field(default_factory=dict)
+    #: AMP only: loss scale after each output-stage update round, and the
+    #: number of update rounds each stage skipped on gradient overflow.
+    loss_scale: List[float] = field(default_factory=list)
+    skipped_updates: Dict[int, int] = field(default_factory=dict)
 
 
 class PipelineTrainer:
@@ -261,6 +319,15 @@ class PipelineTrainer:
         optimizer_factory: builds a fresh optimizer from a parameter list
             for every stage replica.
         policy: ``"stashing"`` | ``"vertical_sync"`` | ``"none"``.
+        precision: ``"fp32"`` (default, byte-for-byte the historical
+            behavior) or ``"fp16"`` — emulated mixed precision: stashed
+            weight versions and inter-stage payloads are ``np.float16``,
+            optimizers keep full-precision masters, and the loss is scaled
+            by ``grad_scaler``.
+        grad_scaler: AMP loss scaler; defaults to a dynamic
+            :class:`GradScaler` when ``precision="fp16"``.  The output
+            stage drives its grow/backoff state machine; each stage skips
+            its own update round when its scaled gradients overflow.
     """
 
     def __init__(
@@ -272,15 +339,31 @@ class PipelineTrainer:
         policy: str = "stashing",
         recompute_activations: bool = False,
         gradient_accumulation: int = 1,
+        precision: str = "fp32",
+        grad_scaler: Optional[GradScaler] = None,
     ):
         if stages[0].start != 0 or stages[-1].stop != model.num_layers:
             raise ValueError("stages must cover the whole model")
         if gradient_accumulation < 1:
             raise ValueError("gradient_accumulation must be >= 1")
+        if precision not in PRECISION_BYTES:
+            raise ValueError(
+                f"unknown precision {precision!r}; expected one of "
+                f"{sorted(PRECISION_BYTES)}")
+        if precision == "fp16" and policy == "none":
+            raise ValueError(
+                "precision='fp16' requires weight versioning; the in-place "
+                "'none' policy has no master copies to accumulate into")
+        if precision != "fp16" and grad_scaler is not None:
+            raise ValueError("grad_scaler requires precision='fp16'")
         self.model = model
         self.stages = list(stages)
         self.loss_fn = loss_fn
         self.policy = policy
+        self.precision = precision
+        self.grad_scaler = (
+            grad_scaler if grad_scaler is not None else GradScaler()
+        ) if precision == "fp16" else None
         self.gradient_accumulation = gradient_accumulation
         self.replicas: Dict[int, List[_StageReplica]] = {}
         for s, stage in enumerate(self.stages):
@@ -290,6 +373,7 @@ class PipelineTrainer:
                 group.append(_StageReplica(
                     s, q, module, policy, optimizer_factory,
                     recompute_activations=recompute_activations,
+                    precision=precision,
                 ))
             self.replicas[s] = group
         self.num_stages = len(self.stages)
@@ -353,6 +437,13 @@ class PipelineTrainer:
         round_grads: Dict[Tuple[int, int], List[Dict[str, np.ndarray]]] = defaultdict(list)
         pointers = {w: 0 for w in schedule.worker_ops}
         losses: List[Optional[float]] = [None] * len(batches)
+        fp16 = self.precision == "fp16"
+        # AMP bookkeeping: the scale each minibatch's loss was multiplied
+        # by (captured at its output-stage backward — upstream gradients
+        # inherit it through the chain rule), collected per update round so
+        # round members can be unscaled individually before averaging.
+        mb_scale: Dict[int, float] = {}
+        round_scales: Dict[Tuple[int, int], List[float]] = defaultdict(list)
 
         def ready(op: Op) -> bool:
             if op.kind == OpKind.FORWARD:
@@ -383,26 +474,41 @@ class PipelineTrainer:
                 self.stats.forward_versions[(s, b)] = version
                 if s < last:
                     downstream = self._worker_of[(s + 1, b % stages[s + 1].replicas)]
+                    if fp16:
+                        out = cast_payload_fp16(out)
                     self.network.send(me, downstream, ("act", s, b), out)
                 done_f.add((s, b))
                 self._track_memory(worker, replica)
             elif op.kind == OpKind.BACKWARD:
                 if s == last:
+                    scale = self.grad_scaler.scale if fp16 else 1.0
+                    mb_scale[b] = scale
                     grad_in, grads, loss = replica.backward(
-                        b, None, loss_fn=self.loss_fn, target=batches[b][1]
+                        b, None, loss_fn=self.loss_fn, target=batches[b][1],
+                        loss_scale=scale,
                     )
                     losses[b] = loss
                 else:
                     downstream = self._worker_of[(s + 1, b % stages[s + 1].replicas)]
                     grad_out = self.network.recv(downstream, me, ("grad", s, b))
+                    if fp16:
+                        grad_out = upcast_payload(grad_out)
                     grad_in, grads, _ = replica.backward(b, grad_out)
                 if s > 0:
                     upstream = self._worker_of[(s - 1, b % stages[s - 1].replicas)]
+                    if fp16:
+                        grad_in = cast_payload_fp16(grad_in)
                     self.network.send(me, upstream, ("grad", s - 1, b), grad_in)
                 done_b.add((s, b))
-                round_grads[(s, b // stages[s].replicas)].append(grads)
+                rnd = b // stages[s].replicas
+                round_grads[(s, rnd)].append(grads)
+                if fp16:
+                    round_scales[(s, rnd)].append(mb_scale[b])
             else:  # UPDATE
-                self._maybe_apply_round(s, b, len(batches), round_grads)
+                self._maybe_apply_round(
+                    s, b, len(batches), round_grads,
+                    round_scales if fp16 else None,
+                )
 
         remaining = sum(len(ops) for ops in schedule.worker_ops.values())
         while remaining:
@@ -431,6 +537,7 @@ class PipelineTrainer:
         minibatch: int,
         num_minibatches: int,
         round_grads: Dict[Tuple[int, int], List[Dict[str, np.ndarray]]],
+        round_scales: Optional[Dict[Tuple[int, int], List[float]]] = None,
     ) -> None:
         replicas = self.stages[stage].replicas
         rnd = minibatch // replicas
@@ -438,6 +545,36 @@ class PipelineTrainer:
         grads_list = round_grads[(stage, rnd)]
         if len(grads_list) < members:
             return
+        is_last_round = (rnd + 1) * replicas >= num_minibatches
+        if round_scales is not None:
+            # AMP: every member was produced under its own loss scale (the
+            # scale may move between update rounds); unscale each before
+            # averaging.  inf/nan survive the division, so overflow in the
+            # scaled fp16 gradients is still visible afterwards.
+            scales = round_scales.pop((stage, rnd))
+            grads_list = [
+                {name: g / scale for name, g in grads.items()}
+                if scale != 1.0 else grads
+                for grads, scale in zip(grads_list, scales)
+            ]
+            overflow = any(
+                not np.isfinite(g).all()
+                for grads in grads_list for g in grads.values()
+            )
+            if stage == self.num_stages - 1:
+                # The output stage sees the loss and drives the scaler's
+                # grow/backoff state machine (an emulation relaxation:
+                # stages skip independently rather than via a global
+                # found-inf broadcast).
+                self.grad_scaler.update(overflow)
+                self.stats.loss_scale.append(self.grad_scaler.scale)
+            if overflow:
+                del round_grads[(stage, rnd)]
+                self.stats.skipped_updates[stage] = (
+                    self.stats.skipped_updates.get(stage, 0) + 1)
+                if is_last_round:
+                    self._apply_pending(stage)
+                return
         if len(grads_list) == 1:
             averaged = grads_list[0]
         else:
@@ -447,10 +584,15 @@ class PipelineTrainer:
             averaged = reduced[0]
         del round_grads[(stage, rnd)]
         self._pending_rounds[stage].append(averaged)
-        is_last_round = (rnd + 1) * replicas >= num_minibatches
         if len(self._pending_rounds[stage]) < self.gradient_accumulation and not is_last_round:
             return  # aggregate more rounds before touching the weights
-        pending = self._pending_rounds.pop(stage)
+        self._apply_pending(stage)
+
+    def _apply_pending(self, stage: int) -> None:
+        """Average and apply the stage's accumulated round gradients."""
+        pending = self._pending_rounds.pop(stage, [])
+        if not pending:
+            return
         if len(pending) > 1:
             averaged = {
                 name: sum(g[name] for g in pending) / len(pending)
@@ -488,12 +630,20 @@ class PipelineTrainer:
     # resumes from the newest epoch every stage completed.
     # ------------------------------------------------------------------
     def save_checkpoint(self, manager, epoch: int) -> None:
-        """Write every stage replica's latest weights for ``epoch``."""
+        """Write every stage replica's latest weights for ``epoch``.
+
+        fp16 replicas checkpoint their full-precision masters — the
+        restartable state — not the low-precision stash copies.
+        """
         for s in range(self.num_stages):
             for q, replica in enumerate(self.replicas[s]):
-                manager.save_stage(s, q, epoch, replica.store._latest.state
-                                   if replica.policy != "none"
-                                   else {n: p.data for n, p in replica.named_params})
+                if replica.master is not None:
+                    state = replica.master
+                elif replica.policy != "none":
+                    state = replica.store._latest.state
+                else:
+                    state = {n: p.data for n, p in replica.named_params}
+                manager.save_stage(s, q, epoch, state)
         manager.mark_epoch_complete(
             epoch, self.num_stages, [st.replicas for st in self.stages]
         )
@@ -514,9 +664,16 @@ class PipelineTrainer:
                 state = manager.load_stage(s, q, epoch)
                 for name, param in replica.named_params:
                     param.data = state[name].copy()
-                replica.store = WeightStore(
-                    {name: p.data for name, p in replica.named_params},
-                    policy=replica.policy,
-                )
+                if replica.master is not None:
+                    replica.master = {
+                        name: p.data for name, p in replica.named_params
+                    }
+                    initial = {
+                        name: cast_payload_fp16(p.data)
+                        for name, p in replica.named_params
+                    }
+                else:
+                    initial = {name: p.data for name, p in replica.named_params}
+                replica.store = WeightStore(initial, policy=replica.policy)
                 replica.contexts.clear()
         return epoch

@@ -25,12 +25,17 @@ class TrainingHistory:
     train_loss: List[float] = field(default_factory=list)
     eval_metric: List[float] = field(default_factory=list)
     wall_time: List[float] = field(default_factory=list)
+    #: Loss scale at the end of each epoch; empty for fp32 runs.
+    loss_scale: List[float] = field(default_factory=list)
 
-    def record(self, epoch: int, loss: float, metric: float, elapsed: float) -> None:
+    def record(self, epoch: int, loss: float, metric: float, elapsed: float,
+               loss_scale: Optional[float] = None) -> None:
         self.epochs.append(epoch)
         self.train_loss.append(loss)
         self.eval_metric.append(metric)
         self.wall_time.append(elapsed)
+        if loss_scale is not None:
+            self.loss_scale.append(loss_scale)
 
     def epochs_to_reach(self, target_metric: float, higher_is_better: bool = True) -> Optional[int]:
         """First epoch whose eval metric reaches the target, or None."""

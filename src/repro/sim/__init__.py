@@ -22,12 +22,14 @@ from repro.sim.sweep import (
     SweepError,
     SweepFailure,
     SweepRecord,
+    precision_chart,
     records_to_csv,
     run_sweep,
     speedup_table,
 )
 from repro.sim.strategies import (
     StrategyResult,
+    resolve_precision,
     simulate_data_parallel,
     simulate_gpipe,
     simulate_model_parallel,
@@ -56,6 +58,8 @@ __all__ = [
     "run_sweep",
     "records_to_csv",
     "speedup_table",
+    "precision_chart",
+    "resolve_precision",
     "StrategyResult",
     "simulate_data_parallel",
     "simulate_model_parallel",

@@ -17,7 +17,7 @@ from repro.core.partition import (
     communication_bytes_per_minibatch,
     data_parallel_bytes_per_minibatch,
 )
-from repro.core.profile import ModelProfile
+from repro.core.profile import PRECISION_BYTES, ModelProfile
 from repro.core.schedule import (
     data_parallel_schedule,
     gpipe_schedule,
@@ -58,11 +58,33 @@ def _epoch_time(sim: SimResult) -> float:
     return sim.total_time
 
 
+def resolve_precision(profile: ModelProfile,
+                      precision: Optional[str]) -> ModelProfile:
+    """Convert ``profile`` to the named precision; ``None`` is a no-op.
+
+    When the profile is already at the requested element width the *same
+    object* is returned (no rescale round-trip), so default fp32 calls stay
+    bitwise-identical to the precision-less path — the differential
+    guarantee ``tests/test_precision_sweep.py`` locks down.
+    """
+    if precision is None:
+        return profile
+    if precision not in PRECISION_BYTES:
+        raise ValueError(
+            f"unknown precision {precision!r}; expected one of "
+            f"{sorted(PRECISION_BYTES)}")
+    bytes_per_element = PRECISION_BYTES[precision]
+    if profile.bytes_per_element == bytes_per_element:
+        return profile
+    return profile.with_precision(bytes_per_element)
+
+
 def simulate_data_parallel(
     profile: ModelProfile,
     topology: Topology,
     num_minibatches: int = 16,
     engine: str = "event",
+    precision: Optional[str] = None,
 ) -> StrategyResult:
     """BSP data parallelism with wait-free backprop (§2.1).
 
@@ -70,6 +92,7 @@ def simulate_data_parallel(
     simulated timeline of one worker's minibatch stream represents the
     cluster processing ``workers x minibatch`` samples per round.
     """
+    profile = resolve_precision(profile, precision)
     workers = topology.total_workers
     schedule = data_parallel_schedule(workers, num_minibatches, num_layers=len(profile))
     sim = simulate(schedule, profile, topology, SimOptions(sync_mode="bsp"),
@@ -101,8 +124,10 @@ def simulate_model_parallel(
     stages: Optional[Sequence[Stage]] = None,
     num_minibatches: int = 16,
     engine: str = "event",
+    precision: Optional[str] = None,
 ) -> StrategyResult:
     """Vanilla model parallelism (Figure 2): no pipelining, one in flight."""
+    profile = resolve_precision(profile, precision)
     if stages is None:
         stages = balanced_straight_stages(profile, topology.total_workers)
     schedule = model_parallel_schedule(
@@ -135,6 +160,7 @@ def simulate_gpipe(
     num_microbatches: int = 4,
     recompute: bool = True,
     engine: str = "event",
+    precision: Optional[str] = None,
 ) -> StrategyResult:
     """GPipe-style inter-batch pipelining with flushes (§2.2, Figure 3).
 
@@ -142,6 +168,7 @@ def simulate_gpipe(
     scale down proportionally; activation recomputation (GPipe's default)
     adds a forward's worth of compute to every backward.
     """
+    profile = resolve_precision(profile, precision)
     if stages is None:
         stages = balanced_straight_stages(profile, topology.total_workers)
     # A microbatch is 1/m of a minibatch: scale compute and activations.
@@ -226,6 +253,7 @@ def simulate_pipedream(
     allow_replication: bool = True,
     optimizer: Optional[PipeDreamOptimizer] = None,
     engine: str = "event",
+    precision: Optional[str] = None,
 ) -> StrategyResult:
     """Run the optimizer, then simulate its chosen configuration.
 
@@ -235,8 +263,17 @@ def simulate_pipedream(
     Pass a shared ``optimizer`` (built on the *full* cluster with the same
     profile) to reuse its memoized DP tables across worker counts — the
     sweep harness does this; ``solve`` is then called for this topology's
-    worker count.
+    worker count.  ``precision`` converts the profile first; combining it
+    with a shared ``optimizer`` is an error when the conversion actually
+    changes the profile (the optimizer's memoized tables would describe
+    the wrong payload sizes).
     """
+    converted = resolve_precision(profile, precision)
+    if converted is not profile and optimizer is not None:
+        raise ValueError(
+            "a shared optimizer cannot be combined with a precision "
+            "conversion; build the optimizer from the converted profile")
+    profile = converted
     if optimizer is None:
         optimizer = PipeDreamOptimizer(
             profile, topology, allow_replication=allow_replication

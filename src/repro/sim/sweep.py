@@ -23,10 +23,12 @@ import io
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.partition import PipeDreamOptimizer, evaluate_partition_details
+from repro.core.partition import PipeDreamOptimizer, Stage, evaluate_partition_details
+from repro.core.profile import PRECISION_BYTES, ModelProfile
 from repro.core.topology import Topology
 from repro.profiler import analytic_profile
 from repro.sim.memory import pipeline_memory_footprint
+from repro.sim.network import Placement, allreduce_time
 from repro.sim.strategies import (
     StrategyResult,
     simulate_data_parallel,
@@ -59,6 +61,12 @@ class SweepRecord:
     ``peak_memory_gb`` stays the strategy driver's own accounting (GPipe,
     for instance, sizes its stash from microbatches, not warmup depth).
     In CSV form tuple columns are ``|``-joined scalars.
+
+    ``precision`` names the element width the cell's profile was built at
+    (see ``PRECISION_BYTES``); ``allreduce_seconds`` is the modeled
+    hierarchical-ring weight synchronization time per round across the
+    plan's replicated stage groups — the figure-12 communication term that
+    fp16 halves.
     """
 
     model: str
@@ -73,18 +81,21 @@ class SweepRecord:
     stage_seconds: Tuple[float, ...] = ()
     boundary_seconds: Tuple[float, ...] = ()
     stage_memory_bytes: Tuple[int, ...] = ()
+    precision: str = "fp32"
+    allreduce_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
 class SweepFailure:
-    """One (model, strategy) cell that raised during the sweep."""
+    """One (model, strategy, precision) cell that raised during the sweep."""
 
     model: str
     strategy: str
     error: str
+    precision: str = "fp32"
 
     def __str__(self) -> str:
-        return f"({self.model}, {self.strategy}): {self.error}"
+        return f"({self.model}, {self.strategy}, {self.precision}): {self.error}"
 
 
 class SweepError(RuntimeError):
@@ -103,9 +114,36 @@ class SweepError(RuntimeError):
         super().__init__(f"{len(self.failures)} sweep cell(s) failed: {lines}")
 
 
+def _plan_allreduce_seconds(
+    profile: ModelProfile,
+    stages: Sequence[Stage],
+    topology: Topology,
+) -> float:
+    """Modeled per-round weight-sync time of a plan's replicated stages.
+
+    Workers are numbered stage-major (the schedule builders' contiguous
+    assignment); each stage with ``replicas > 1`` ring-all_reduces its span's
+    ``weight_bytes`` — at the profile's own ``bytes_per_element``, so an
+    fp16 profile pays half the fp32 payload — across its replica group, and
+    the per-stage times add (groups share the hierarchy's links).
+    """
+    placement = Placement(topology)
+    total = 0.0
+    next_worker = 0
+    for stage in stages:
+        group = list(range(next_worker, next_worker + stage.replicas))
+        next_worker += stage.replicas
+        if stage.replicas > 1:
+            total += allreduce_time(
+                placement, group, profile.weight_bytes(stage.start, stage.stop)
+            )
+    return total
+
+
 def _run_cell(
     model: str,
     strategy: str,
+    precision: str,
     topology: Topology,
     worker_counts: Sequence[int],
     device: str,
@@ -114,14 +152,23 @@ def _run_cell(
     vectorize: bool,
     profile_cache: bool,
 ) -> List[Optional[SweepRecord]]:
-    """Run one (model, strategy) cell over every worker count.
+    """Run one (model, strategy, precision) cell over every worker count.
 
     Returns one entry per ``worker_counts`` element, ``None`` where the
     count does not pack onto the topology — index-aligned so the caller
     can interleave cells back into serial order.  Module-level (and built
     from picklable arguments) so it crosses a process-pool boundary.
+
+    The precision is applied at the *profile*: the cell's plan, simulation,
+    and payload accounting all see ``PRECISION_BYTES[precision]``-wide
+    elements (the profile cache is keyed on that width, so fp32 and fp16
+    cells never share an entry).
     """
-    profile = analytic_profile(model, device=device, cache=profile_cache)
+    profile = analytic_profile(
+        model, device=device,
+        bytes_per_element=PRECISION_BYTES[precision],
+        cache=profile_cache,
+    )
     # One optimizer per cell: its memoized level tables are shared by every
     # solve of the worker-count loop, exactly as in the serial sweep.
     optimizer = (
@@ -161,6 +208,9 @@ def _run_cell(
             stage_seconds=details.stage_times,
             boundary_seconds=details.boundary_times,
             stage_memory_bytes=tuple(stage_memory),
+            precision=precision,
+            allreduce_seconds=_plan_allreduce_seconds(
+                profile, result.stages, sub),
         ))
     return out
 
@@ -189,14 +239,20 @@ def run_sweep(
     vectorize: bool = True,
     profile_cache: bool = True,
     on_error: str = "raise",
+    precisions: Sequence[str] = ("fp32",),
 ) -> List[SweepRecord]:
     """Simulate every combination; skips worker counts that don't pack.
 
     Args:
         workers: sweep parallelism.  ``1`` (default) runs every cell
-            serially in-process; ``N > 1`` fans the (model, strategy) cells
-            out over ``N`` executor workers.  Output order and values are
-            identical either way.
+            serially in-process; ``N > 1`` fans the (model, strategy,
+            precision) cells out over ``N`` executor workers.  Output order
+            and values are identical either way.
+        precisions: element widths to sweep (keys of ``PRECISION_BYTES``).
+            The default single-``"fp32"`` axis reproduces the historical
+            sweep bit for bit; adding ``"fp16"`` doubles the grid with
+            cells planned and simulated on half-width profiles — the
+            figure-12 comparison.
         executor: ``"process"`` (default) or ``"thread"`` pool for
             ``workers > 1``.  Processes sidestep the GIL for the pure-Python
             simulator loops; threads avoid fork/pickle overhead and see
@@ -213,16 +269,24 @@ def run_sweep(
     unknown = set(strategies) - set(STRATEGIES)
     if unknown:
         raise ValueError(f"unknown strategies: {sorted(unknown)}")
+    unknown_precisions = set(precisions) - set(PRECISION_BYTES)
+    if unknown_precisions:
+        raise ValueError(f"unknown precisions: {sorted(unknown_precisions)}")
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
     if on_error not in ("raise", "skip"):
         raise ValueError(f"unknown on_error {on_error!r}; expected 'raise' or 'skip'")
     worker_counts = list(worker_counts)
-    cells = [(model, strategy) for model in models for strategy in strategies]
+    cells = [
+        (model, strategy, precision)
+        for model in models
+        for strategy in strategies
+        for precision in precisions
+    ]
     cell_args = [
-        (model, strategy, topology, worker_counts, device, minibatches,
-         engine, vectorize, profile_cache)
-        for model, strategy in cells
+        (model, strategy, precision, topology, worker_counts, device,
+         minibatches, engine, vectorize, profile_cache)
+        for model, strategy, precision in cells
     ]
 
     if workers <= 1 or len(cells) <= 1:
@@ -238,22 +302,24 @@ def run_sweep(
             # ``cells`` no matter which cell finishes first.
             outcomes = list(pool.map(_run_cell_guarded, cell_args))
 
-    by_cell: Dict[Tuple[str, str], List[Optional[SweepRecord]]] = {}
+    by_cell: Dict[Tuple[str, str, str], List[Optional[SweepRecord]]] = {}
     failures: List[SweepFailure] = []
-    for (model, strategy), (cell_records, error) in zip(cells, outcomes):
+    for (model, strategy, precision), (cell_records, error) in zip(cells, outcomes):
         if error is not None:
-            failures.append(SweepFailure(model, strategy, error))
+            failures.append(SweepFailure(model, strategy, error, precision))
             cell_records = [None] * len(worker_counts)
-        by_cell[(model, strategy)] = cell_records
+        by_cell[(model, strategy, precision)] = cell_records
 
-    # Serial iteration order: model-major, then worker count, then strategy.
+    # Serial iteration order: model-major, then worker count, then
+    # strategy, then precision.
     records: List[SweepRecord] = []
     for model in models:
         for idx in range(len(worker_counts)):
             for strategy in strategies:
-                record = by_cell[(model, strategy)][idx]
-                if record is not None:
-                    records.append(record)
+                for precision in precisions:
+                    record = by_cell[(model, strategy, precision)][idx]
+                    if record is not None:
+                        records.append(record)
 
     if failures and on_error == "raise":
         raise SweepError(failures, records)
@@ -311,3 +377,36 @@ def speedup_table(records: Sequence[SweepRecord],
                 "speedup": record.samples_per_second / base if base else float("inf"),
             })
     return rows
+
+
+def precision_chart(records: Sequence[SweepRecord],
+                    metric: str = "samples_per_second",
+                    title: str = "fp16 vs fp32",
+                    y_label: Optional[str] = None):
+    """Figure-12-style line chart: ``metric`` vs workers, one series per
+    (model, strategy, precision).
+
+    Any numeric :class:`SweepRecord` field works as the metric
+    (``samples_per_second``, ``allreduce_seconds``, ``peak_memory_gb``,
+    ``communication_overhead``...).
+    """
+    from repro.utils.svgplot import LineChart
+
+    chart = LineChart(
+        title=title,
+        x_label="workers",
+        y_label=y_label if y_label is not None else metric,
+        y_percent=(metric == "communication_overhead"),
+    )
+    series: Dict[Tuple[str, str, str], List[Tuple[float, float]]] = {}
+    for record in records:
+        key = (record.model, record.strategy, record.precision)
+        series.setdefault(key, []).append(
+            (record.workers, float(getattr(record, metric)))
+        )
+    for (model, strategy, precision), points in sorted(series.items()):
+        chart.add_series(
+            f"{model}/{strategy}/{precision}",
+            sorted(points),
+        )
+    return chart

@@ -390,16 +390,8 @@ class TestSupersetInvariant:
     a plan whose every span it admits never overflows the limit.
     """
 
-    @given(
-        spec=layer_specs,
-        workers=st.integers(2, 4),
-        limit_scale=st.floats(0.05, 6.0, allow_nan=False),
-    )
-    @settings(max_examples=40, deadline=None)
-    def test_bound_superset_refined_superset_footprint(
-        self, spec, workers, limit_scale
-    ):
-        profile = build_profile(spec)
+    @staticmethod
+    def check_invariant(profile, workers, limit_scale):
         topo = make_cluster("fuzz", workers, 1, 40.0, 40.0)
         model_bytes = sum(
             l.weight_bytes + l.activation_bytes for l in profile.layers
@@ -433,6 +425,77 @@ class TestSupersetInvariant:
                    for st_ in stages):
                 # Conservative mode is sound: what it certifies, fits.
                 assert max(foot) <= limit
+
+    @given(
+        spec=layer_specs,
+        workers=st.integers(2, 4),
+        limit_scale=st.floats(0.05, 6.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bound_superset_refined_superset_footprint(
+        self, spec, workers, limit_scale
+    ):
+        self.check_invariant(build_profile(spec), workers, limit_scale)
+
+    @given(
+        spec=layer_specs,
+        workers=st.integers(2, 4),
+        limit_scale=st.floats(0.05, 6.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_holds_at_fp16_payloads(
+        self, spec, workers, limit_scale
+    ):
+        """The same structural invariant at half-width payloads: the
+        precision axis reuses the one §3.3 kernel, so nothing about the
+        bound/refined/footprint relationship may change when every byte
+        count is rescaled by ``with_precision(2)``."""
+        profile = build_profile(spec).with_precision(2)
+        assert profile.bytes_per_element == 2
+        self.check_invariant(profile, workers, limit_scale)
+
+
+class TestPrecisionMemoryShift:
+    """fp16 roughly halves every §3.3 footprint, so under a fixed
+    ``memory_limit_bytes`` the feasible-plan set strictly grows."""
+
+    # Probed crossover for vgg16 @ 16 workers (refined two-phase solve):
+    # fp32 is infeasible below ~1.8 GB/worker while fp16 stays feasible
+    # down to ~0.85 GB.  1.5 GB sits squarely between the two.
+    CROSSOVER_LIMIT = 1.5e9
+
+    def test_fp16_feasible_where_fp32_is_not(self):
+        fp32 = analytic_profile("vgg16")
+        fp16 = analytic_profile("vgg16", bytes_per_element=2)
+        with pytest.raises(RuntimeError):
+            PipeDreamOptimizer(
+                fp32, TOPO_A, memory_limit_bytes=self.CROSSOVER_LIMIT
+            ).solve()
+        plan = PipeDreamOptimizer(
+            fp16, TOPO_A, memory_limit_bytes=self.CROSSOVER_LIMIT
+        ).solve()
+        assert max(plan.memory_bytes) <= self.CROSSOVER_LIMIT
+        assert plan.memory_bytes == tuple(
+            pipeline_memory_footprint(fp16, plan.stages)
+        )
+
+    def test_fp16_footprints_at_most_fp32(self):
+        """Per stage and plan, the fp16 footprint never exceeds fp32's
+        (``max(1, round(n/2))`` can only shrink or hold byte counts)."""
+        fp32 = analytic_profile("vgg16")
+        fp16 = fp32.with_precision(2)
+        plan = PipeDreamOptimizer(fp32, TOPO_A).solve()
+        foot32 = pipeline_memory_footprint(fp32, plan.stages)
+        foot16 = pipeline_memory_footprint(fp16, plan.stages)
+        assert all(h <= f for h, f in zip(foot16, foot32))
+        assert max(foot16) < max(foot32)
+
+    def test_refined_fp16_solve_matches_scalar(self):
+        fp16 = analytic_profile("vgg16", bytes_per_element=2)
+        plan = assert_refined_solves_identical(
+            fp16, TOPO_A, self.CROSSOVER_LIMIT
+        )
+        assert max(plan.memory_bytes) <= self.CROSSOVER_LIMIT
 
 
 class TestMemoryRefineFuzz:

@@ -104,7 +104,7 @@ def test_failing_cell_reported_per_cell(failing_dp_for_resnet, workers,
     assert failure.model == "resnet50"
     assert failure.strategy == "dp"
     assert "injected cell failure" in failure.error
-    assert "(resnet50, dp)" in str(error)
+    assert "(resnet50, dp, fp32)" in str(error)
     # The surviving cells all completed: every record except resnet50/dp.
     keys = {(r.model, r.strategy) for r in error.records}
     assert ("resnet50", "dp") not in keys
