@@ -16,6 +16,7 @@ from perf.harness import (
     write_report,
 )
 import perf.workloads  # noqa: F401  (registers the workloads)
+import perf.loadgen  # noqa: F401  (registers the serving workloads)
 
 __all__ = [
     "REPORT_PATH",

@@ -29,6 +29,12 @@ def workload(name: str) -> Callable[[WorkloadFn], WorkloadFn]:
 
     def register(fn: WorkloadFn) -> WorkloadFn:
         if name in WORKLOADS:
+            if fn.__module__ == "__main__":
+                # ``python -m perf.<module>`` executes the file twice —
+                # once via the package import, once as __main__.  Keep
+                # the canonical registration; the direct run dispatches
+                # through WORKLOADS anyway.
+                return fn
             raise ValueError(f"duplicate workload {name!r}")
         WORKLOADS[name] = fn
         return fn

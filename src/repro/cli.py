@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli plan vgg16 --cluster a --servers 4 [--json out.json]
     python -m repro.cli simulate vgg16 --cluster a --servers 4 --strategy pipedream
     python -m repro.cli sweep vgg16 gnmt8 --counts 4 16 --precisions fp32 fp16
+    python -m repro.cli serve --port 8941
     python -m repro.cli timeline --stages 4 --minibatches 8 --schedule 1f1b
 """
 
@@ -169,6 +170,30 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the planner HTTP service until interrupted."""
+    from repro.serve import PlannerService, make_server
+
+    service = PlannerService(
+        plan_cache_size=args.plan_cache,
+        context_capacity=args.context_capacity,
+        warm_start=not args.cold,
+    )
+    server = make_server(service, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"planner service listening on http://{host}:{port} "
+          f"(plan cache {args.plan_cache}, "
+          f"warm start {'off' if args.cold else 'on'})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
 def cmd_timeline(args) -> int:
     from repro.core.profile import LayerProfile, ModelProfile
     from repro.core.topology import make_cluster
@@ -255,6 +280,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", help="write the records to this CSV file")
     p.add_argument("--svg", help="write a precision comparison chart here")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve", help="run the plan/simulate/sweep HTTP service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8941,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--plan-cache", type=int, default=512,
+                   help="canonical response-cache entries (0 disables)")
+    p.add_argument("--context-capacity", type=int, default=16,
+                   help="profiles kept warm in the solver-context pool")
+    p.add_argument("--cold", action="store_true",
+                   help="disable warm-started solves (benchmark baseline)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each HTTP request")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("timeline", help="print an ASCII pipeline timeline")
     p.add_argument("--stages", type=int, default=4)

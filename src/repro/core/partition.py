@@ -29,12 +29,12 @@ import itertools
 import math
 import threading
 import time
-import weakref
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.profile import ModelProfile
 from repro.core.topology import Topology, TopologyLevel
+from repro.utils.lru import LRUCache
 
 try:  # numpy accelerates the DP; the scalar fallback needs nothing.
     import numpy as np
@@ -141,6 +141,117 @@ def allreduce_bytes_per_worker(weight_bytes: float, num_workers: int) -> float:
     return 2.0 * (num_workers - 1) / num_workers * weight_bytes
 
 
+class SolverContext:
+    """Warm-start state shared by :class:`PipeDreamOptimizer` instances.
+
+    The DP's expensive intermediates are all reusable across queries over
+    the *same profile* that differ only in worker count, memory cap, or
+    solver options — the exact query mix a long-lived planner service (and
+    an offline sweep) answers:
+
+    - ``level_tables``: the hierarchical DP's per-level ``(A, ptr)`` arrays
+      and the refined pass's final stage lists.  Keys embed the full solver
+      namespace (memory limit, refine/replication flags, vectorize,
+      compute scale) plus the level-signature prefix, so worker-count
+      subsets of one cluster share every inner level they have in common
+      and no entry can ever be reused under a different feasibility mask.
+    - ``bound_matrices``: the phase-1 per-span memory bounds.  The matrix
+      itself never depends on the limit (only the ``<= limit`` comparison
+      does), so *every* memory cap shares one matrix per mode.
+    - ``comm_tables``: the refined suffix DP's placement-exact
+      ``(coeffs, link_bw)`` tables, keyed by topology signature — shared
+      across memory caps and repeated queries.
+    - ``refined_rows``: completed suffix-DP rows ``(R[m], ptr_k[m],
+      ptr_mp[m])``, keyed by a *chained placement signature*: row ``m``
+      depends on the topology only through its all_reduce coefficients and
+      boundary link bandwidths plus the rows below it, so the key chains
+      those values recursively.  Two solves whose chains match compute
+      bitwise-identical rows — which is what lets a 16-worker solve hand
+      its first 8 rows to a subsequent 8-worker solve on the same cluster
+      (suffixes align whenever both counts pack the hierarchy the same
+      way), making worker-count re-plans close to free.
+
+    Every cache is value-transparent: a warm-started solve returns results
+    bitwise identical to a cold one (asserted across all axes by
+    ``tests/test_solver_context.py``).  ``lock`` serializes solves that
+    share the context; the planner service acquires it per query, and the
+    dict updates themselves are benign under the GIL (racing writers store
+    equal values).
+    """
+
+    def __init__(self, profile: ModelProfile):
+        self.profile = profile
+        self.lock = threading.RLock()
+        # Bounded so a server answering arbitrary (cap, options) mixes for
+        # days holds a working set, not a transcript.  Level tables are the
+        # big ones (O(n^2) arrays per level); suffix rows are O(n) each.
+        self.level_tables = LRUCache(capacity=256, name="level_tables")
+        self.bound_matrices: Dict[tuple, List[List[float]]] = {}
+        self.comm_tables = LRUCache(capacity=64, name="comm_tables")
+        self.refined_rows = LRUCache(capacity=4096, name="refined_rows")
+        self._counters = {
+            "level_hits": 0, "level_misses": 0,
+            "bound_hits": 0, "bound_misses": 0,
+            "comm_hits": 0, "comm_misses": 0,
+            "row_hits": 0, "row_misses": 0,
+            "solves": 0,
+        }
+
+    def matches(self, profile: ModelProfile) -> bool:
+        """True when ``profile`` can safely share this context's caches."""
+        if profile is self.profile:
+            return True
+        return profile.digest() == self.profile.digest()
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self.lock:
+            self._counters[counter] += amount
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot plus current table occupancy."""
+        with self.lock:
+            out = dict(self._counters)
+        out.update(
+            level_entries=len(self.level_tables),
+            bound_entries=len(self.bound_matrices),
+            comm_entries=len(self.comm_tables),
+            row_entries=len(self.refined_rows),
+        )
+        return out
+
+
+class SolverContextPool:
+    """A bounded registry of :class:`SolverContext` keyed by profile digest.
+
+    The planner service and the sweep harness both face an open-ended
+    stream of profiles; the pool gives each distinct profile one shared
+    context and bounds the total (LRU eviction) so a long-lived server
+    cannot accumulate DP tables without limit.
+    """
+
+    def __init__(self, capacity: int = 16):
+        self._cache = LRUCache(capacity, name="solver_contexts")
+
+    def get(self, profile: ModelProfile) -> SolverContext:
+        """The (possibly new) shared context for ``profile``."""
+        return self._cache.get_or_create(
+            profile.digest(), lambda: SolverContext(profile)
+        )
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def stats(self) -> Dict[str, object]:
+        """Pool-level LRU stats plus per-context counter snapshots."""
+        return {
+            "pool": self._cache.stats(),
+            "contexts": {
+                ctx.profile.model_name: ctx.stats()
+                for ctx in self._cache.values()
+            },
+        }
+
+
 class PipeDreamOptimizer:
     """Hierarchical dynamic-programming partitioner.
 
@@ -178,6 +289,14 @@ class PipeDreamOptimizer:
             work.  Both paths produce identical stage lists (asserted by the
             test suite); the scalar path is kept as the reference oracle and
             as the fallback when numpy is unavailable.
+        context: optional :class:`SolverContext` built over the same
+            profile.  When given, every memoized intermediate (level
+            tables, bound matrices, refined comm tables, suffix-DP rows)
+            is read from and written to the shared context instead of
+            per-instance dicts, so a fresh optimizer answering a query
+            that differs from earlier ones only in worker count or memory
+            cap is warm-started.  Results are bitwise identical to a cold
+            solve.
     """
 
     def __init__(
@@ -188,6 +307,7 @@ class PipeDreamOptimizer:
         memory_limit_bytes: Optional[float] = None,
         vectorize: bool = True,
         memory_refine: bool = True,
+        context: Optional[SolverContext] = None,
     ):
         self.profile = profile
         self.topology = topology
@@ -195,18 +315,42 @@ class PipeDreamOptimizer:
         self.memory_limit_bytes = memory_limit_bytes
         self.memory_refine = memory_refine
         self.vectorize = vectorize and np is not None
+        if context is not None and not context.matches(profile):
+            raise ValueError(
+                "SolverContext was built for a different profile "
+                f"({context.profile.model_name!r}, digest "
+                f"{context.profile.digest()[:12]}...); warm-started tables "
+                "would be wrong for this one"
+            )
+        self.context = context
         # The one shared memory formula (imported at call time because
         # repro.sim.memory imports Stage/RECURRENT_KINDS from this module).
         from repro.sim.memory import stage_memory_cost
 
         self._stage_memory_cost = stage_memory_cost
         self._bound_cache: Optional[List[List[float]]] = None
-        #: level-table memo for the vectorized DP, keyed by the
-        #: (count, bandwidth, allreduce_bandwidth) tuple of every level up
-        #: to and including the one the table belongs to.  Subset topologies
-        #: used by worker-count sweeps share inner levels, so their tables
-        #: are computed once per optimizer instance.
-        self._level_cache: Dict[tuple, tuple] = {}
+        #: Namespace prefix of every shared-cache key: all the solver
+        #: options that change DP table *values*.  Entries written under
+        #: one namespace can never be read under another, which is what
+        #: makes sharing a context across memory caps / option mixes safe
+        #: (the memory limit is baked into the level tables' feasibility
+        #: masks, so it must key them).
+        self._cache_ns = (
+            None if memory_limit_bytes is None else float(memory_limit_bytes),
+            self.memory_refine,
+            self.allow_replication,
+            self.vectorize,
+            topology.compute_scale,
+        )
+        #: level-table memo for the vectorized DP, keyed by the namespace
+        #: plus the (count, bandwidth, allreduce_bandwidth) tuple of every
+        #: level up to and including the one the table belongs to.  Subset
+        #: topologies used by worker-count sweeps share inner levels, so
+        #: their tables are computed once per optimizer instance — or once
+        #: per *context* when one is shared.
+        self._level_cache: Dict[tuple, tuple] = (
+            context.level_tables if context is not None else {}
+        )
         self._n = len(profile)
         # Profiles are recorded on the reference device; slower clusters
         # (compute_scale < 1) stretch compute relative to communication, so
@@ -280,6 +424,21 @@ class PipeDreamOptimizer:
         """
         if self._bound_cache is not None:
             return self._bound_cache
+        # The matrix depends on the profile's bytes and (in bound-only
+        # mode) the instance topology's worker count — never on the limit
+        # itself, which only enters through the <= comparison.  A shared
+        # context therefore serves every memory cap from one matrix.
+        ctx_key = (
+            ("refined",)
+            if self.memory_refine
+            else ("bound", max(1, self.topology.total_workers))
+        )
+        if self.context is not None:
+            cached = self.context.bound_matrices.get(ctx_key)
+            if cached is not None:
+                self.context._bump("bound_hits")
+                self._bound_cache = cached
+                return cached
         n = self._n
         kernel = self._stage_memory_cost
         inf = math.inf
@@ -317,6 +476,9 @@ class PipeDreamOptimizer:
                         W, 1,
                     ))
         self._bound_cache = bound
+        if self.context is not None:
+            self.context._bump("bound_misses")
+            self.context.bound_matrices[ctx_key] = bound
         return bound
 
     # ------------------------------------------------------------------
@@ -349,6 +511,8 @@ class PipeDreamOptimizer:
         the footprint rejects are discarded.
         """
         start_time = time.perf_counter()
+        if self.context is not None:
+            self.context._bump("solves")
         topology = self.topology
         if num_workers is not None and num_workers != topology.total_workers:
             topology = topology.subset(num_workers)
@@ -486,18 +650,67 @@ class PipeDreamOptimizer:
             (lv.count, lv.bandwidth, lv.allreduce_bandwidth)
             for lv in topology.levels
         )
-        cache_key = ("refined", sig, topology.compute_scale,
-                     float(self.memory_limit_bytes), self.allow_replication)
+        cache_key = self._cache_ns + ("refined", sig)
         cached = self._level_cache.get(cache_key)
         if cached is not None:
+            if self.context is not None:
+                self.context._bump("level_hits")
             return cached[0]
-        coeffs, link_bw = self._refined_comm_tables(topology)
+        coeffs, link_bw = self._comm_tables_for(topology, sig)
         if self.vectorize:
             stages = self._solve_refined_vectorized(topology, coeffs, link_bw)
         else:
             stages = self._solve_refined_reference(topology, coeffs, link_bw)
         self._level_cache[cache_key] = (stages,)
+        if self.context is not None:
+            self.context._bump("level_misses")
         return stages
+
+    def _comm_tables_for(self, topology: Topology, sig: tuple):
+        """:meth:`_refined_comm_tables`, shared through the context.
+
+        The tables are pure functions of the topology signature (no
+        memory/option dependence), so one entry serves every memory cap
+        and option mix — the cheap-but-measurable part of re-planning the
+        same cluster under a new constraint.
+        """
+        if self.context is None:
+            return self._refined_comm_tables(topology)
+        cached = self.context.comm_tables.get(sig)
+        if cached is not None:
+            self.context._bump("comm_hits")
+            return cached
+        tables = self._refined_comm_tables(topology)
+        self.context.comm_tables[sig] = tables
+        self.context._bump("comm_misses")
+        return tables
+
+    def _refined_row_keys(self, W: int, coeffs, link_bw) -> List[tuple]:
+        """Chained placement signatures for suffix-DP rows ``1..W``.
+
+        Row ``m`` of the suffix DP depends on the topology only through
+        ``coeffs[m][1..m]``, the boundary bandwidths
+        ``link_bw[W-m+mp]`` for ``mp = 1..m``, and rows ``< m`` — so a key
+        that chains exactly those values identifies the row's *bitwise*
+        value regardless of the total worker count it was computed under.
+        A 16-worker solve on a 4x4 cluster therefore seeds rows 1..8 of a
+        later 8-worker solve: both suffixes occupy the tail of the
+        hierarchy identically, their signatures match, and the rows are
+        handed over instead of recomputed.  Everything else a row depends
+        on (profile arrays, memory limit, replication flag, compute scale,
+        scalar-vs-numpy twin) lives in the namespace prefix.
+        """
+        ns = ("rows", self._cache_ns)
+        keys: List[tuple] = [()] * (W + 1)
+        chain: tuple = ("base", self._n)
+        for m in range(1, W + 1):
+            coeff_m = tuple(coeffs[m][1 : m + 1])
+            bw_m = tuple(
+                link_bw[min(W - m + mp, W - 1)] for mp in range(1, m + 1)
+            )
+            chain = (coeff_m, bw_m, chain)
+            keys[m] = (ns, m, chain)
+        return keys
 
     def _refined_comm_tables(self, topology: Topology):
         """Per-``(m, m')`` placement-exact communication tables.
@@ -585,7 +798,21 @@ class PipeDreamOptimizer:
         ptr_k = [[-1] * n for _ in range(W + 1)]
         ptr_mp = [[-1] * n for _ in range(W + 1)]
         R[0][n] = 0.0
+        row_cache = None if self.context is None else self.context.refined_rows
+        row_keys = (
+            self._refined_row_keys(W, coeffs, link_bw)
+            if row_cache is not None
+            else None
+        )
         for m in range(1, W + 1):
+            if row_cache is not None:
+                hit = row_cache.get(row_keys[m])
+                if hit is not None:
+                    R[m] = list(hit[0])
+                    ptr_k[m] = list(hit[1])
+                    ptr_mp[m] = list(hit[2])
+                    self.context._bump("row_hits")
+                    continue
             for j in range(n - 1, -1, -1):
                 best = inf
                 best_k = -1
@@ -614,6 +841,11 @@ class PipeDreamOptimizer:
                 R[m][j] = best
                 ptr_k[m][j] = best_k
                 ptr_mp[m][j] = best_mp
+            if row_cache is not None:
+                row_cache[row_keys[m]] = (
+                    list(R[m]), list(ptr_k[m]), list(ptr_mp[m])
+                )
+                self.context._bump("row_misses")
         if not math.isfinite(R[W][0]):
             return None
         return self._reconstruct_refined(ptr_k, ptr_mp, W)
@@ -646,7 +878,21 @@ class PipeDreamOptimizer:
         R[0, n] = 0.0
         ptr_k = np.full((W + 1, n), -1, dtype=np.int64)
         ptr_mp = np.full((W + 1, n), -1, dtype=np.int64)
+        row_cache = None if self.context is None else self.context.refined_rows
+        row_keys = (
+            self._refined_row_keys(W, coeffs, link_bw)
+            if row_cache is not None
+            else None
+        )
         for m in range(1, W + 1):
+            if row_cache is not None:
+                hit = row_cache.get(row_keys[m])
+                if hit is not None:
+                    R[m] = hit[0]
+                    ptr_k[m] = hit[1]
+                    ptr_mp[m] = hit[2]
+                    self.context._bump("row_hits")
+                    continue
             cand = np.empty((m, n, n))
             for mp in range(1, m + 1):
                 # Leading-stage time for this (m, mp): the placement-exact
@@ -678,6 +924,11 @@ class PipeDreamOptimizer:
             R[m, :n] = np.where(finite, best, inf)
             ptr_k[m] = np.where(finite, flat // m, -1)
             ptr_mp[m] = np.where(finite, flat % m + 1, -1)
+            if row_cache is not None:
+                row_cache[row_keys[m]] = (
+                    R[m].copy(), ptr_k[m].copy(), ptr_mp[m].copy()
+                )
+                self.context._bump("row_misses")
         if not np.isfinite(R[W, 0]):
             return None
         return self._reconstruct_refined(ptr_k, ptr_mp, W)
@@ -739,9 +990,15 @@ class PipeDreamOptimizer:
         for k, level in enumerate(topology.levels, start=1):
             mk, bandwidth = level.count, level.bandwidth
             key_parts.append((mk, bandwidth, level.allreduce_bandwidth))
-            cache_key = tuple(key_parts)
+            # The namespace prefix matters once the cache is shared: level
+            # tables bake the memory-feasibility mask (and the replication
+            # flag) into A, so entries are only valid under the exact
+            # solver options that built them.
+            cache_key = self._cache_ns + ("level", tuple(key_parts))
             cached = self._level_cache.get(cache_key)
             if cached is not None:
+                if self.context is not None:
+                    self.context._bump("level_hits")
                 tables.append(cached)
                 prev_capacity = mk
                 prev_workers *= mk
@@ -803,6 +1060,8 @@ class PipeDreamOptimizer:
 
             entry = (A, ptr_s, ptr_mp)
             self._level_cache[cache_key] = entry
+            if self.context is not None:
+                self.context._bump("level_misses")
             tables.append(entry)
             prev_capacity = mk
             prev_workers *= mk
@@ -1091,18 +1350,29 @@ class _EvalTables:
             self.np_acts = np.asarray(acts)
 
 
-_EVAL_TABLES_LOCK = threading.Lock()
-_EVAL_TABLES: "weakref.WeakKeyDictionary[ModelProfile, _EvalTables]" = (
-    weakref.WeakKeyDictionary()
-)
+#: Bounded, lock-guarded registry of per-profile evaluator tables, keyed
+#: by content digest.  The old weak-keyed registry was unbounded while a
+#: caller pinned its profiles (a long-lived server does exactly that) and
+#: keyed on identity, so equal-valued profiles built tables twice; the LRU
+#: bounds residency, shares by value, and exposes hit/miss/eviction stats.
+_EVAL_TABLES = LRUCache(capacity=64, name="eval_tables")
 
 
 def _eval_tables(profile: ModelProfile) -> _EvalTables:
-    with _EVAL_TABLES_LOCK:
-        tables = _EVAL_TABLES.get(profile)
-        if tables is None:
-            tables = _EVAL_TABLES[profile] = _EvalTables(profile)
-        return tables
+    return _EVAL_TABLES.get_or_create(
+        profile.digest(), lambda: _EvalTables(profile)
+    )
+
+
+def eval_tables_stats() -> Dict[str, object]:
+    """Hit/miss/eviction snapshot of the shared evaluator-table cache."""
+    return _EVAL_TABLES.stats()
+
+
+def clear_eval_tables() -> None:
+    """Drop the shared evaluator tables (tests and benchmarks use this to
+    measure a true cold path)."""
+    _EVAL_TABLES.clear()
 
 
 @dataclass(frozen=True)

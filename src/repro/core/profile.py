@@ -8,6 +8,7 @@ models), or be constructed by hand in tests.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
@@ -76,6 +77,7 @@ class ModelProfile:
         self.layers: List[LayerProfile] = list(layers)
         self.batch_size = batch_size
         self.bytes_per_element = bytes_per_element
+        self._digest: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.layers)
@@ -152,6 +154,23 @@ class ModelProfile:
             for l in self.layers
         ]
         return ModelProfile(self.model_name, layers, self.batch_size, bytes_per_element)
+
+    def digest(self) -> str:
+        """Content hash of the profile — the canonical cache-key component.
+
+        Two profiles with equal layer values, batch size, and element width
+        share a digest regardless of object identity or provenance (an
+        analytic build and a client-submitted JSON copy key the same cache
+        entries).  Computed once per instance; profiles are treated as
+        immutable everywhere in this repo (``scaled``/``with_precision``
+        return copies), so memoization is safe.
+        """
+        if self._digest is None:
+            canonical = json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            self._digest = hashlib.sha256(canonical.encode()).hexdigest()
+        return self._digest
 
     # ------------------------------------------------------------------
     # Serialization (profiles are artifacts of the profiling step)

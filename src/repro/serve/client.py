@@ -1,0 +1,95 @@
+"""Planner clients: in-process and HTTP, with one shared surface.
+
+``PlannerClient`` wraps a :class:`~repro.serve.service.PlannerService`
+directly (no sockets — embedders and the sweep harness use this);
+``HTTPPlannerClient`` speaks the JSON API of
+:mod:`repro.serve.server` over urllib.  Both expose ``plan`` /
+``simulate`` / ``sweep`` / ``batch`` / ``stats`` with identical payloads,
+so code written against one runs against the other.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.serve.service import PlannerService, RequestError
+
+
+class PlannerClient:
+    """In-process client: method calls straight into the service."""
+
+    def __init__(self, service: Optional[PlannerService] = None):
+        self.service = service or PlannerService()
+
+    def plan(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self.service.plan(request)
+
+    def simulate(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self.service.simulate(request)
+
+    def sweep(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self.service.sweep(request)
+
+    def batch(self, requests: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        return self.service.batch(list(requests))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.service.stats()
+
+
+class HTTPPlannerClient:
+    """JSON-over-HTTP client for a running planner server.
+
+    4xx responses raise :class:`~repro.serve.service.RequestError` (same
+    type the in-process path raises), 5xx raise ``RuntimeError``.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, path: str, body: Optional[Any] = None) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            url, data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except Exception:  # noqa: BLE001 - body may not be JSON
+                message = str(exc)
+            if 400 <= exc.code < 500:
+                raise RequestError(message) from exc
+            raise RuntimeError(message) from exc
+
+    # ------------------------------------------------------------------
+    def plan(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self._request("/plan", request)
+
+    def simulate(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self._request("/simulate", request)
+
+    def sweep(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self._request("/sweep", request)
+
+    def batch(self, requests: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        return self._request("/batch", {"requests": list(requests)})["results"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("/stats")
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("/healthz").get("ok"))
+        except (OSError, RuntimeError, RequestError):
+            return False

@@ -1,0 +1,166 @@
+"""Stdlib HTTP front end for :class:`~repro.serve.service.PlannerService`.
+
+A thin JSON-over-HTTP adapter: every endpoint body is exactly the dict the
+in-process service method takes, and every response body is exactly what
+it returns, so the HTTP client and the in-process client are
+interchangeable (asserted by the CI smoke test).
+
+Endpoints::
+
+    POST /plan      {model|profile, cluster|topology, ...} -> plan payload
+    POST /simulate  plan fields + {strategy, minibatches, engine}
+    POST /sweep     {models, counts, ...}                  -> {records}
+    POST /batch     {requests: [...]}                      -> {results}
+    GET  /stats     reuse-layer counters
+    GET  /healthz   {"ok": true}
+
+``ThreadingHTTPServer`` gives one thread per connection; the service
+itself is thread-safe, so concurrent clients are supported directly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.service import PlannerService, RequestError
+
+_MAX_BODY_BYTES = 16 * 1024 * 1024  # inline profiles are ~KBs; 16MB is ample
+
+
+class _PlannerRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs to service methods; owns no state of its own."""
+
+    server: "PlannerHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise RequestError("a JSON request body is required")
+        if length > _MAX_BODY_BYTES:
+            raise RequestError("request body too large")
+        try:
+            return json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise RequestError(f"invalid JSON body: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server's naming)
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif self.path == "/stats":
+            self._send_json(200, service.stats())
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        service = self.server.service
+        try:
+            body = self._read_json()
+            if self.path == "/plan":
+                payload = service.plan(body)
+            elif self.path == "/simulate":
+                payload = service.simulate(body)
+            elif self.path == "/sweep":
+                payload = service.sweep(body)
+            elif self.path == "/batch":
+                if not isinstance(body, dict) or "requests" not in body:
+                    raise RequestError("body must be {\"requests\": [...]}")
+                payload = {"results": service.batch(body["requests"])}
+            else:
+                self._send_json(
+                    404, {"error": f"no such endpoint: {self.path}"}
+                )
+                return
+        except RequestError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - server must not die
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._send_json(200, payload)
+
+
+class PlannerHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one planner service."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: PlannerService,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _PlannerRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(
+    service: Optional[PlannerService] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> PlannerHTTPServer:
+    """Bind a planner server (``port=0`` picks a free port, for tests)."""
+    return PlannerHTTPServer((host, port), service or PlannerService(),
+                             verbose=verbose)
+
+
+class ServerThread:
+    """A planner server on a background thread (tests, smoke checks).
+
+    Usage::
+
+        with ServerThread() as url:
+            HTTPPlannerClient(url).plan({...})
+    """
+
+    def __init__(self, service: Optional[PlannerService] = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.server = make_server(service, host, port)
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, name="planner-http", daemon=True
+        )
+
+    @property
+    def url(self) -> str:
+        host, port = self.server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> str:
+        self.start()
+        return self.url
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,484 @@
+"""The planner service: normalized queries, plan cache, warm-started solves.
+
+PipeDream's partitioner is meant to be re-run for every (profile, topology,
+memory cap, precision) configuration — re-planning is what makes the
+approach practical at scale — so this module packages it as a long-lived
+query answerer.  Three reuse layers stack, all value-transparent (a served
+answer is bitwise identical to a cold :meth:`PipeDreamOptimizer.solve`):
+
+1. **Canonical plan cache** — requests are normalized to a canonical key
+   ``(profile digest, topology signature, num_workers, memory limit,
+   solver options)`` before anything runs, so syntactically different but
+   semantically equal requests (``{"model": "vgg16"}`` vs. the same
+   profile inlined as JSON; precision via flag vs. pre-converted bytes)
+   hit one bounded LRU entry.  Precision is part of the key through the
+   digest: converting element widths changes the profile bytes and hence
+   the digest.
+2. **Warm-started solves** — cache misses solve with a
+   :class:`~repro.core.partition.SolverContext` drawn from a per-profile
+   pool, reusing level tables, bound matrices, comm tables, and suffix-DP
+   rows across queries that differ in worker count, cap, or options.
+3. **Batched execution** — :meth:`PlannerService.batch` groups a mixed
+   request list by profile digest so each group runs against hot solver
+   and evaluator tables, then restores the caller's order.
+
+Everything here is stdlib + the repo's own modules; the HTTP layer lives
+in :mod:`repro.serve.server` and clients in :mod:`repro.serve.client`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.partition import (
+    PipeDreamOptimizer,
+    SolverContext,
+    SolverContextPool,
+    eval_tables_stats,
+)
+from repro.core.profile import PRECISION_BYTES, ModelProfile
+from repro.core.topology import (
+    Topology,
+    TopologyLevel,
+    cluster_1080ti,
+    cluster_a,
+    cluster_b,
+    cluster_c,
+)
+from repro.utils.lru import LRUCache
+
+#: Named clusters a request may reference instead of an inline topology.
+CLUSTERS = {
+    "a": cluster_a,
+    "b": cluster_b,
+    "c": cluster_c,
+    "1080ti": cluster_1080ti,
+}
+
+_PLAN_KEYS = frozenset({
+    "model", "profile", "device", "precision",
+    "cluster", "servers", "topology", "num_workers",
+    "memory_limit_bytes", "allow_replication", "memory_refine", "vectorize",
+})
+_SIMULATE_KEYS = _PLAN_KEYS | {"strategy", "minibatches", "engine"}
+
+
+class RequestError(ValueError):
+    """A malformed or unsatisfiable request (HTTP 400, not a server bug)."""
+
+
+def topology_to_dict(topology: Topology) -> Dict[str, Any]:
+    """JSON form of a topology (inverse of :func:`topology_from_dict`)."""
+    return {
+        "name": topology.name,
+        "compute_scale": topology.compute_scale,
+        "levels": [
+            {
+                "count": lv.count,
+                "bandwidth": lv.bandwidth,
+                "allreduce_efficiency": lv.allreduce_efficiency,
+            }
+            for lv in topology.levels
+        ],
+    }
+
+
+def topology_from_dict(data: Dict[str, Any]) -> Topology:
+    levels = [
+        TopologyLevel(
+            int(lv["count"]),
+            float(lv["bandwidth"]),
+            float(lv.get("allreduce_efficiency", 1.0)),
+        )
+        for lv in data["levels"]
+    ]
+    return Topology(
+        str(data.get("name", "request")),
+        levels,
+        compute_scale=float(data.get("compute_scale", 1.0)),
+    )
+
+
+def _topology_signature(topology: Topology) -> tuple:
+    """The value identity of a topology: levels + compute scale, not name."""
+    return (
+        topology.compute_scale,
+        tuple(
+            (lv.count, lv.bandwidth, lv.allreduce_efficiency)
+            for lv in topology.levels
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class NormalizedQuery:
+    """A plan request reduced to canonical form.
+
+    ``key`` is the plan-cache key: every field that can change the solver's
+    answer, by value.  Two requests with equal keys are the same query no
+    matter how they were phrased.
+    """
+
+    profile: ModelProfile
+    topology: Topology
+    num_workers: int
+    memory_limit_bytes: Optional[float]
+    allow_replication: bool
+    memory_refine: bool
+    vectorize: bool
+    key: tuple
+
+
+def normalize_plan_request(
+    request: Dict[str, Any], allowed_keys: frozenset = _PLAN_KEYS
+) -> NormalizedQuery:
+    """Resolve a JSON request into a :class:`NormalizedQuery`.
+
+    The schema is strict (unknown keys are rejected) so that junk fields
+    cannot split the cache; all resolution errors surface as
+    :class:`RequestError` with a client-actionable message.
+    """
+    if not isinstance(request, dict):
+        raise RequestError("request must be a JSON object")
+    unknown = set(request) - allowed_keys
+    if unknown:
+        raise RequestError(f"unknown request fields: {sorted(unknown)}")
+
+    precision = request.get("precision", "fp32")
+    if precision not in PRECISION_BYTES:
+        raise RequestError(
+            f"unknown precision {precision!r} (have {sorted(PRECISION_BYTES)})"
+        )
+    if ("model" in request) == ("profile" in request):
+        raise RequestError("exactly one of 'model' or 'profile' is required")
+    if "profile" in request:
+        try:
+            profile = ModelProfile.from_dict(request["profile"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RequestError(f"bad profile: {exc}") from exc
+        target_bytes = PRECISION_BYTES[precision]
+        if "precision" in request and profile.bytes_per_element != target_bytes:
+            profile = profile.with_precision(target_bytes)
+    else:
+        # Imported here: the analytic profiler is the one serve dependency
+        # with model tables behind it, and tests stub it.
+        from repro.profiler import analytic_profile, available_models
+
+        model = request["model"]
+        if model not in available_models():
+            raise RequestError(
+                f"unknown model {model!r} (have {sorted(available_models())})"
+            )
+        profile = analytic_profile(
+            model,
+            device=request.get("device", "v100"),
+            bytes_per_element=PRECISION_BYTES[precision],
+        )
+
+    if "topology" in request and "cluster" in request:
+        raise RequestError("give either 'topology' or 'cluster', not both")
+    if "topology" in request:
+        try:
+            topology = topology_from_dict(request["topology"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RequestError(f"bad topology: {exc}") from exc
+    else:
+        cluster = request.get("cluster", "a")
+        if cluster not in CLUSTERS:
+            raise RequestError(
+                f"unknown cluster {cluster!r} (have {sorted(CLUSTERS)})"
+            )
+        topology = CLUSTERS[cluster](int(request.get("servers", 4)))
+
+    num_workers = int(request.get("num_workers", topology.total_workers))
+    try:
+        solve_topology = (
+            topology
+            if num_workers == topology.total_workers
+            else topology.subset(num_workers)
+        )
+    except ValueError as exc:
+        raise RequestError(str(exc)) from exc
+
+    limit = request.get("memory_limit_bytes")
+    limit = None if limit is None else float(limit)
+    allow_replication = bool(request.get("allow_replication", True))
+    memory_refine = bool(request.get("memory_refine", True))
+    vectorize = bool(request.get("vectorize", True))
+
+    # The canonical identity of the query.  The profile digest already
+    # encodes precision (element width changes the serialized bytes); the
+    # topology enters by value, so a named cluster and its inline JSON
+    # twin are the same query.
+    key = (
+        profile.digest(),
+        _topology_signature(solve_topology),
+        num_workers,
+        limit,
+        allow_replication,
+        memory_refine,
+        vectorize,
+    )
+    return NormalizedQuery(
+        profile=profile,
+        topology=solve_topology,
+        num_workers=num_workers,
+        memory_limit_bytes=limit,
+        allow_replication=allow_replication,
+        memory_refine=memory_refine,
+        vectorize=vectorize,
+        key=key,
+    )
+
+
+class PlannerService:
+    """A long-lived plan/simulate/sweep query answerer.
+
+    Args:
+        plan_cache_size: entries in the canonical response cache.  ``0``
+            disables response caching entirely (every request recomputes)
+            — the perf harness's cold path.
+        context_capacity: distinct profiles whose
+            :class:`~repro.core.partition.SolverContext` is kept warm.
+        warm_start: when False, solves run cold (no shared context).  The
+            plan cache still applies; disable both for a fully cold
+            service.
+
+    Thread-safe: the caches are internally locked, per-profile solver
+    state is serialized on its context lock, and counters take the
+    service lock.  Correctness under concurrent clients is asserted by
+    ``tests/test_serve.py``.
+    """
+
+    def __init__(
+        self,
+        plan_cache_size: int = 512,
+        context_capacity: int = 16,
+        warm_start: bool = True,
+    ):
+        self.plan_cache = LRUCache(plan_cache_size, name="plan_cache")
+        self.contexts = SolverContextPool(context_capacity)
+        self.warm_start = warm_start
+        self._lock = threading.Lock()
+        self._requests = {"plan": 0, "simulate": 0, "sweep": 0, "batch": 0}
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _count(self, endpoint: str) -> None:
+        with self._lock:
+            self._requests[endpoint] += 1
+
+    def _context_for(self, profile: ModelProfile) -> Optional[SolverContext]:
+        if not self.warm_start:
+            return None
+        return self.contexts.get(profile)
+
+    def _optimizer(self, query: NormalizedQuery) -> PipeDreamOptimizer:
+        return PipeDreamOptimizer(
+            query.profile,
+            query.topology,
+            allow_replication=query.allow_replication,
+            memory_limit_bytes=query.memory_limit_bytes,
+            vectorize=query.vectorize,
+            memory_refine=query.memory_refine,
+            context=self._context_for(query.profile),
+        )
+
+    def _plan_normalized(self, query: NormalizedQuery) -> Dict[str, Any]:
+        cached = self.plan_cache.get(("plan", query.key))
+        if cached is not None:
+            return dict(cached, cached=True)
+        try:
+            result = self._optimizer(query).solve(query.num_workers)
+        except RuntimeError as exc:  # infeasible (e.g. memory cap too tight)
+            raise RequestError(str(exc)) from exc
+        payload = {
+            "stages": [[s.start, s.stop, s.replicas] for s in result.stages],
+            "config": result.config_string,
+            "num_workers": result.num_workers,
+            "slowest_stage_time": result.slowest_stage_time,
+            "memory_bytes": list(result.memory_bytes),
+            "memory_limit_bytes": result.memory_limit_bytes,
+            "solve_seconds": result.solve_seconds,
+        }
+        self.plan_cache.put(("plan", query.key), payload)
+        return dict(payload, cached=False)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def plan(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one plan query (see :func:`normalize_plan_request`)."""
+        self._count("plan")
+        return self._plan_normalized(normalize_plan_request(request))
+
+    def simulate(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Plan-then-simulate one configuration.
+
+        Accepts every plan field plus ``strategy`` (``pipedream``/``dp``/
+        ``mp``/``gpipe``), ``minibatches``, and ``engine``.  The pipedream
+        strategy reuses the service's warm optimizer, so repeated
+        simulations of one profile re-solve from hot tables.
+        """
+        self._count("simulate")
+        strategy = request.get("strategy", "pipedream")
+        minibatches = int(request.get("minibatches", 48))
+        engine = request.get("engine", "event")
+        query = normalize_plan_request(
+            {k: v for k, v in request.items()
+             if k not in ("strategy", "minibatches", "engine")},
+            allowed_keys=_PLAN_KEYS,
+        )
+        cache_key = ("simulate", query.key, strategy, minibatches, engine)
+        cached = self.plan_cache.get(cache_key)
+        if cached is not None:
+            return dict(cached, cached=True)
+
+        # Imported lazily so importing the serve package stays cheap.
+        from repro.sim import (
+            simulate_data_parallel,
+            simulate_gpipe,
+            simulate_model_parallel,
+            simulate_pipedream,
+        )
+
+        profile, topology = query.profile, query.topology
+        if strategy == "pipedream":
+            result = simulate_pipedream(
+                profile, topology, num_minibatches=minibatches,
+                engine=engine, optimizer=self._optimizer(query),
+            )
+        elif strategy == "dp":
+            result = simulate_data_parallel(
+                profile, topology, num_minibatches=minibatches, engine=engine
+            )
+        elif strategy == "mp":
+            result = simulate_model_parallel(
+                profile, topology, num_minibatches=minibatches, engine=engine
+            )
+        elif strategy == "gpipe":
+            result = simulate_gpipe(
+                profile, topology, num_batches=max(2, minibatches // 4),
+                engine=engine,
+            )
+        else:
+            raise RequestError(
+                f"unknown strategy {strategy!r} "
+                "(have ['dp', 'gpipe', 'mp', 'pipedream'])"
+            )
+        payload = {
+            "strategy": result.strategy,
+            "config": result.config,
+            "num_workers": result.num_workers,
+            "throughput": result.throughput,
+            "samples_per_second": result.samples_per_second,
+            "communication_overhead": result.communication_overhead,
+            "bytes_per_sample": result.bytes_per_sample,
+            "memory_per_worker": list(result.memory_per_worker),
+            "stages": [[s.start, s.stop, s.replicas] for s in result.stages],
+        }
+        self.plan_cache.put(cache_key, payload)
+        return dict(payload, cached=False)
+
+    def sweep(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Run a figure-12-style grid and return its records.
+
+        Mirrors the CLI ``sweep`` subcommand; cells thread the service's
+        context pool so per-cell solves are warm-started.
+        """
+        self._count("sweep")
+        allowed = {
+            "models", "cluster", "servers", "topology", "counts",
+            "strategies", "precisions", "device", "minibatches", "engine",
+            "executor", "workers",
+        }
+        unknown = set(request) - allowed
+        if unknown:
+            raise RequestError(f"unknown request fields: {sorted(unknown)}")
+        models = request.get("models")
+        if not models or not isinstance(models, (list, tuple)):
+            raise RequestError("'models' must be a non-empty list")
+        if "topology" in request:
+            topology = topology_from_dict(request["topology"])
+        else:
+            cluster = request.get("cluster", "a")
+            if cluster not in CLUSTERS:
+                raise RequestError(
+                    f"unknown cluster {cluster!r} (have {sorted(CLUSTERS)})"
+                )
+            topology = CLUSTERS[cluster](int(request.get("servers", 4)))
+        counts = request.get("counts", [4, 8, 16])
+
+        from repro.sim import run_sweep
+
+        try:
+            records = run_sweep(
+                list(models),
+                topology,
+                [int(c) for c in counts],
+                strategies=tuple(request.get("strategies", ("dp", "pipedream"))),
+                device=request.get("device", "v100"),
+                minibatches=int(request.get("minibatches", 48)),
+                engine=request.get("engine", "event"),
+                workers=int(request.get("workers", 1)),
+                executor=request.get("executor", "auto"),
+                precisions=tuple(request.get("precisions", ("fp32",))),
+                contexts=self.contexts if self.warm_start else None,
+            )
+        except (KeyError, ValueError) as exc:
+            raise RequestError(str(exc)) from exc
+        return {"records": [dataclasses.asdict(r) for r in records]}
+
+    def batch(self, requests: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Answer many plan requests, grouped by profile for table reuse.
+
+        Requests sharing a profile digest run back to back against the
+        same hot solver context (and evaluator tables), then results are
+        returned in the caller's order.  Per-request failures come back
+        in-slot as ``{"error": ...}`` instead of failing the batch.
+        """
+        self._count("batch")
+        if not isinstance(requests, (list, tuple)):
+            raise RequestError("'requests' must be a list")
+        normalized: List[Tuple[int, Any]] = []
+        for index, request in enumerate(requests):
+            try:
+                normalized.append((index, normalize_plan_request(request)))
+            except RequestError as exc:
+                normalized.append((index, exc))
+        results: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+        solvable = [
+            (index, query) for index, query in normalized
+            if isinstance(query, NormalizedQuery)
+        ]
+        # Group by digest (stable within a group: first appearance wins),
+        # so each profile's tables are built once per batch, not per slot.
+        order: Dict[str, int] = {}
+        for index, query in solvable:
+            order.setdefault(query.profile.digest(), len(order))
+        solvable.sort(key=lambda item: (order[item[1].profile.digest()], item[0]))
+        for index, query in solvable:
+            try:
+                results[index] = self._plan_normalized(query)
+            except RequestError as exc:
+                results[index] = {"error": str(exc)}
+        for index, query in normalized:
+            if isinstance(query, RequestError):
+                results[index] = {"error": str(query)}
+        return results  # type: ignore[return-value]
+
+    def stats(self) -> Dict[str, Any]:
+        """Service counters plus every reuse layer's hit/miss stats."""
+        with self._lock:
+            requests = dict(self._requests)
+        return {
+            "requests": requests,
+            "warm_start": self.warm_start,
+            "plan_cache": self.plan_cache.stats(),
+            "solver_contexts": self.contexts.stats(),
+            "eval_tables": eval_tables_stats(),
+        }

@@ -20,10 +20,16 @@ from __future__ import annotations
 import concurrent.futures
 import csv
 import io
+import os
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.partition import PipeDreamOptimizer, Stage, evaluate_partition_details
+from repro.core.partition import (
+    PipeDreamOptimizer,
+    SolverContextPool,
+    Stage,
+    evaluate_partition_details,
+)
 from repro.core.profile import PRECISION_BYTES, ModelProfile
 from repro.core.topology import Topology
 from repro.profiler import analytic_profile
@@ -140,6 +146,27 @@ def _plan_allreduce_seconds(
     return total
 
 
+#: Per-process shared solver contexts, created by :func:`_pool_init` in
+#: process-pool workers (a context pool holds locks, so it cannot cross a
+#: pickle boundary — each worker builds its own).  Stays ``None`` in the
+#: main process: serial sweeps only warm-start when the caller passes a
+#: pool explicitly, keeping the default serial path byte-for-byte the
+#: historical one.
+_WORKER_CONTEXTS: Optional[SolverContextPool] = None
+
+
+def _pool_init() -> None:
+    """Process-pool initializer: one-time per-worker setup.
+
+    Workers pay module import on their first task regardless; what would
+    otherwise be paid *per split subtask* is solver-table construction, so
+    the initializer installs a worker-local :class:`SolverContextPool`
+    that every subtask handled by this worker shares.
+    """
+    global _WORKER_CONTEXTS
+    _WORKER_CONTEXTS = SolverContextPool()
+
+
 def _run_cell(
     model: str,
     strategy: str,
@@ -151,6 +178,7 @@ def _run_cell(
     engine: str,
     vectorize: bool,
     profile_cache: bool,
+    contexts: Optional[SolverContextPool] = None,
 ) -> List[Optional[SweepRecord]]:
     """Run one (model, strategy, precision) cell over every worker count.
 
@@ -169,10 +197,18 @@ def _run_cell(
         bytes_per_element=PRECISION_BYTES[precision],
         cache=profile_cache,
     )
+    if contexts is None:
+        contexts = _WORKER_CONTEXTS
     # One optimizer per cell: its memoized level tables are shared by every
-    # solve of the worker-count loop, exactly as in the serial sweep.
+    # solve of the worker-count loop, exactly as in the serial sweep.  A
+    # shared context extends that reuse across cells (and across the split
+    # per-count subtasks of the parallel path) — warm-started solves are
+    # bitwise identical to cold ones, so records don't change.
     optimizer = (
-        PipeDreamOptimizer(profile, topology, vectorize=vectorize)
+        PipeDreamOptimizer(
+            profile, topology, vectorize=vectorize,
+            context=None if contexts is None else contexts.get(profile),
+        )
         if strategy == "pipedream" else None
     )
     out: List[Optional[SweepRecord]] = []
@@ -223,7 +259,25 @@ def _run_cell_guarded(args) -> Tuple[List[Optional[SweepRecord]], Optional[str]]
         return [], f"{type(exc).__name__}: {exc}"
 
 
-EXECUTORS = ("process", "thread")
+EXECUTORS = ("auto", "process", "thread", "serial")
+
+
+def _resolve_executor(executor: str, workers: int, num_tasks: int) -> str:
+    """Pick an execution mode for ``executor="auto"``.
+
+    Process pools only pay off when there are enough independent tasks to
+    amortize fork/pickle overhead *and* enough CPUs to run them — on a
+    1-2 CPU box (CI containers) or a handful of tasks, a thread pool (or
+    plain serial for a single task) wins outright.
+    """
+    if executor != "auto":
+        return executor
+    if workers <= 1 or num_tasks <= 1:
+        return "serial"
+    cpus = os.cpu_count() or 1
+    if cpus <= 2 or num_tasks < 8:
+        return "thread"
+    return "process"
 
 
 def run_sweep(
@@ -240,6 +294,7 @@ def run_sweep(
     profile_cache: bool = True,
     on_error: str = "raise",
     precisions: Sequence[str] = ("fp32",),
+    contexts: Optional[SolverContextPool] = None,
 ) -> List[SweepRecord]:
     """Simulate every combination; skips worker counts that don't pack.
 
@@ -254,9 +309,19 @@ def run_sweep(
             cells planned and simulated on half-width profiles — the
             figure-12 comparison.
         executor: ``"process"`` (default) or ``"thread"`` pool for
-            ``workers > 1``.  Processes sidestep the GIL for the pure-Python
-            simulator loops; threads avoid fork/pickle overhead and see
-            in-process monkeypatching (useful in tests).
+            ``workers > 1``; ``"serial"`` forces the in-process loop, and
+            ``"auto"`` picks: serial for a single task, threads on small
+            grids or CPU-starved machines (fork+import would dominate),
+            processes otherwise.  Processes sidestep the GIL for the
+            pure-Python simulator loops; threads avoid fork/pickle
+            overhead and see in-process monkeypatching (useful in tests).
+            In the pooled modes the fan-out unit is one *(cell, worker
+            count)* subtask — not a whole cell — so one heavy
+            configuration (gnmt16 at the largest count) cannot dominate a
+            pool slot; a per-worker ``SolverContextPool`` (installed by
+            the pool initializer, or shared in-process for threads)
+            restores the per-cell table reuse the split would otherwise
+            lose.  Output order and values are identical in every mode.
         vectorize: forwarded to :class:`PipeDreamOptimizer` (DP and plan
             evaluator).  ``False`` reproduces the scalar reference path —
             the perf harness uses it as the sweep baseline.
@@ -265,6 +330,12 @@ def run_sweep(
         on_error: ``"raise"`` (default) raises :class:`SweepError` *after*
             all cells complete when any cell failed; ``"skip"`` returns the
             successful cells' records and drops the failures.
+        contexts: optional :class:`SolverContextPool` whose warm-started
+            solver tables the cells read and extend (the planner service
+            threads its pool through here).  In-process modes use it
+            directly; process pools build their own per-worker pool
+            instead (locks don't pickle).  Warm starts are
+            value-transparent, so records are unchanged.
     """
     unknown = set(strategies) - set(STRATEGIES)
     if unknown:
@@ -283,24 +354,66 @@ def run_sweep(
         for strategy in strategies
         for precision in precisions
     ]
-    cell_args = [
-        (model, strategy, precision, topology, worker_counts, device,
-         minibatches, engine, vectorize, profile_cache)
-        for model, strategy, precision in cells
-    ]
 
-    if workers <= 1 or len(cells) <= 1:
+    resolved = _resolve_executor(
+        executor, workers, len(cells) * len(worker_counts)
+    )
+    if workers <= 1 or len(cells) <= 1 or resolved == "serial":
+        cell_args = [
+            (model, strategy, precision, topology, worker_counts, device,
+             minibatches, engine, vectorize, profile_cache, contexts)
+            for model, strategy, precision in cells
+        ]
         outcomes = [_run_cell_guarded(args) for args in cell_args]
     else:
-        pool_cls = (
-            concurrent.futures.ProcessPoolExecutor
-            if executor == "process"
-            else concurrent.futures.ThreadPoolExecutor
-        )
-        with pool_cls(max_workers=min(workers, len(cells))) as pool:
-            # map() preserves submission order, so results line up with
-            # ``cells`` no matter which cell finishes first.
-            outcomes = list(pool.map(_run_cell_guarded, cell_args))
+        # Fan out per (cell, worker count): the heaviest configuration of
+        # the grid becomes one subtask instead of serializing a whole
+        # cell behind it.  Heavy counts are submitted first so they don't
+        # land last on an otherwise-drained pool.
+        if resolved == "process":
+            pool_cls = concurrent.futures.ProcessPoolExecutor
+            pool_kwargs = {"initializer": _pool_init}
+            subtask_contexts = None  # workers build their own (unpicklable)
+        else:
+            pool_cls = concurrent.futures.ThreadPoolExecutor
+            pool_kwargs = {}
+            # Threads share one pool: split subtasks of a cell regain the
+            # table reuse a per-cell optimizer used to provide.
+            subtask_contexts = contexts or SolverContextPool()
+        subtasks = [
+            (cell_index, count_index,
+             (model, strategy, precision, topology, [count], device,
+              minibatches, engine, vectorize, profile_cache,
+              subtask_contexts))
+            for cell_index, (model, strategy, precision) in enumerate(cells)
+            for count_index, count in enumerate(worker_counts)
+        ]
+        subtasks.sort(key=lambda task: -worker_counts[task[1]])
+        with pool_cls(
+            max_workers=min(workers, len(subtasks)), **pool_kwargs
+        ) as pool:
+            results = list(
+                pool.map(_run_cell_guarded, [args for _, _, args in subtasks])
+            )
+        per_cell: List[List[Optional[SweepRecord]]] = [
+            [None] * len(worker_counts) for _ in cells
+        ]
+        cell_errors: Dict[int, str] = {}
+        # zip() pairs each result with its (cell, count) slot; iteration
+        # follows submission order, so on a multi-count failure the
+        # largest count's error is reported — deterministically.
+        for (cell_index, count_index, _), (sub_records, error) in zip(
+            subtasks, results
+        ):
+            if error is not None:
+                cell_errors.setdefault(cell_index, error)
+            elif sub_records:
+                per_cell[cell_index][count_index] = sub_records[0]
+        outcomes = [
+            ([], cell_errors[index]) if index in cell_errors
+            else (per_cell[index], None)
+            for index in range(len(cells))
+        ]
 
     by_cell: Dict[Tuple[str, str, str], List[Optional[SweepRecord]]] = {}
     failures: List[SweepFailure] = []

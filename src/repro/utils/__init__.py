@@ -1,5 +1,21 @@
-"""Shared utilities: report formatting and RNG control."""
+"""Shared utilities: report formatting, bounded caching, SVG plotting.
 
-from repro.utils.reporting import format_table, format_timeline, speedup
+:mod:`repro.utils.lru` is import-light (stdlib only) so core modules can
+use it; the reporting helpers transitively import the simulator, so they
+are re-exported lazily (PEP 562) to keep ``repro.core`` importable without
+dragging :mod:`repro.sim` in first.
+"""
 
-__all__ = ["format_table", "format_timeline", "speedup"]
+from repro.utils.lru import LRUCache
+
+_REPORTING = ("format_table", "format_timeline", "speedup")
+
+__all__ = ["LRUCache", *_REPORTING]
+
+
+def __getattr__(name):
+    if name in _REPORTING:
+        from repro.utils import reporting
+
+        return getattr(reporting, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

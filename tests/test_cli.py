@@ -65,6 +65,38 @@ class TestSimulate:
         assert "bytes/sample" in out
 
 
+class TestServe:
+    def test_serve_binds_and_shuts_down(self, capsys, monkeypatch):
+        """Wire-through check: the subcommand builds a configured service,
+        binds, prints where it listens, and closes cleanly on interrupt."""
+        from repro.serve import server as server_mod
+
+        captured = {}
+        original_init = server_mod.PlannerHTTPServer.__init__
+
+        def spying_init(self, address, service, verbose=False):
+            captured["service"] = service
+            captured["verbose"] = verbose
+            original_init(self, address, service, verbose)
+
+        monkeypatch.setattr(server_mod.PlannerHTTPServer, "__init__",
+                            spying_init)
+        monkeypatch.setattr(
+            server_mod.PlannerHTTPServer, "serve_forever",
+            lambda self, poll_interval=0.5: (_ for _ in ()).throw(
+                KeyboardInterrupt),
+        )
+        assert main(["serve", "--port", "0", "--plan-cache", "7",
+                     "--cold"]) == 0
+        out = capsys.readouterr().out
+        assert "listening on http://127.0.0.1:" in out
+        assert "warm start off" in out
+        service = captured["service"]
+        assert service.plan_cache.stats()["capacity"] == 7
+        assert service.warm_start is False
+        assert captured["verbose"] is False
+
+
 class TestTimeline:
     @pytest.mark.parametrize("schedule", ["1f1b", "gpipe", "mp"])
     def test_timelines_render(self, capsys, schedule):

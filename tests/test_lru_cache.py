@@ -1,0 +1,152 @@
+"""The bounded LRU cache behind every long-lived registry.
+
+Eviction order, the disabled (capacity-0) mode, build-once semantics of
+``get_or_create`` under thread races, and counter bookkeeping — the
+properties serving correctness leans on.
+"""
+
+import threading
+
+import pytest
+
+from repro.utils.lru import LRUCache
+
+
+class TestBasics:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", "fallback") == "fallback"
+
+    def test_setitem_is_put(self):
+        cache = LRUCache(4)
+        cache["k"] = "v"
+        assert cache.get("k") == "v"
+        assert "k" in cache
+
+    def test_len_and_keys_order(self):
+        cache = LRUCache(4)
+        for key in "abc":
+            cache.put(key, key)
+        assert len(cache) == 3
+        assert cache.keys() == ["a", "b", "c"]
+        cache.get("a")  # now most recently used
+        assert cache.keys() == ["b", "c", "a"]
+
+    def test_overwrite_updates_value_not_size(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestEviction:
+    def test_lru_entry_is_evicted(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_eviction_count_accumulates(self):
+        cache = LRUCache(1)
+        for i in range(5):
+            cache.put(i, i)
+        assert cache.stats()["evictions"] == 4
+        assert len(cache) == 1
+
+
+class TestDisabledMode:
+    def test_capacity_zero_never_retains(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_capacity_zero_factory_runs_every_call(self):
+        cache = LRUCache(0)
+        calls = []
+        for _ in range(3):
+            cache.get_or_create("k", lambda: calls.append(1) or len(calls))
+        assert len(calls) == 3
+        assert cache.stats()["misses"] == 3
+        assert cache.stats()["hits"] == 0
+
+
+class TestGetOrCreate:
+    def test_factory_runs_once_per_key(self):
+        cache = LRUCache(4)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "built"
+
+        assert cache.get_or_create("k", factory) == "built"
+        assert cache.get_or_create("k", factory) == "built"
+        assert len(calls) == 1
+
+    def test_concurrent_builders_share_one_object(self):
+        cache = LRUCache(8)
+        built = []
+
+        def factory():
+            built.append(object())
+            return built[-1]
+
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get_or_create("shared", factory))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(built) == 1
+        assert all(r is built[0] for r in results)
+
+
+class TestStats:
+    def test_hit_miss_counts(self):
+        cache = LRUCache(4, name="test")
+        cache.get("a")  # miss
+        cache.put("a", 1)
+        cache.get("a")  # hit
+        stats = cache.stats()
+        assert stats["name"] == "test"
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["entries"] == 1
+        assert stats["capacity"] == 4
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1

@@ -66,6 +66,36 @@ def test_scalar_evaluator_matches_vectorized_keys(serial_records):
         [(r.model, r.workers, r.strategy) for r in serial_records]
 
 
+def test_auto_executor_matches_serial(serial_records):
+    assert run(workers=2, executor="auto") == serial_records
+
+
+def test_serial_executor_explicit(serial_records):
+    assert run(workers=2, executor="serial") == serial_records
+
+
+def test_warm_contexts_do_not_change_results(serial_records):
+    from repro.core.partition import SolverContextPool
+
+    contexts = SolverContextPool()
+    warm = run(workers=1, contexts=contexts)
+    assert warm == serial_records
+    # The pool actually served the sweep's pipedream cells.
+    stats = contexts.stats()
+    assert set(stats["contexts"]) == set(MODELS)
+    assert all(ctx["solves"] > 0 for ctx in stats["contexts"].values())
+    # And a second sweep over the same pool reuses tables, bitwise-equal.
+    again = run(workers=1, contexts=contexts)
+    assert again == serial_records
+
+
+def test_warm_contexts_with_thread_pool(serial_records):
+    from repro.core.partition import SolverContextPool
+
+    assert run(workers=2, executor="thread",
+               contexts=SolverContextPool()) == serial_records
+
+
 def test_unknown_executor_rejected():
     with pytest.raises(ValueError, match="unknown executor"):
         run(workers=2, executor="goroutine")

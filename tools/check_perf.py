@@ -55,6 +55,24 @@ def main(argv: list[str] | None = None) -> int:
         for key, value in entry.get("detail", {}).items():
             if isinstance(value, bool) and not value:
                 failures.append(f"{name}: detail flag {key!r} is false")
+        # Latency gate: workloads may expose a "gated_latency_ms" dict
+        # (the loadgen's p50/p99); each entry is held to the same ratio
+        # threshold as the headline seconds.
+        fresh_latency = entry.get("detail", {}).get("gated_latency_ms", {})
+        base_latency = (
+            recorded.get(name, {}).get("detail", {}).get("gated_latency_ms", {})
+        )
+        for key, value in fresh_latency.items():
+            base_value = base_latency.get(key)
+            if base_value is None or base_value <= 0:
+                continue
+            latency_ratio = value / base_value
+            if latency_ratio > args.threshold:
+                failures.append(
+                    f"{name}: latency {key} {value:.3f}ms is "
+                    f"{latency_ratio:.2f}x the recorded {base_value:.3f}ms "
+                    f"(threshold {args.threshold:.1f}x)"
+                )
     for name in recorded:
         if name not in fresh:
             failures.append(f"{name}: recorded in baseline but no longer registered")

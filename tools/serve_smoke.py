@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""CI smoke test for the planner service's HTTP surface.
+
+Boots a real ``ThreadingHTTPServer`` on a free port, issues one request
+per endpoint through :class:`HTTPPlannerClient`, and asserts the answers
+are identical to the in-process service and (for /plan) bitwise-equal to
+a cold :meth:`PipeDreamOptimizer.solve`.  Error mapping is exercised too:
+a bad request must come back as HTTP 400 carrying the same message the
+in-process path raises.
+
+Usage: ``python tools/serve_smoke.py``  (exit 0 = pass)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.partition import PipeDreamOptimizer  # noqa: E402
+from repro.serve import (  # noqa: E402
+    HTTPPlannerClient,
+    PlannerClient,
+    PlannerService,
+    RequestError,
+    ServerThread,
+    normalize_plan_request,
+)
+
+PLAN_REQUEST = {"model": "vgg16", "cluster": "a", "servers": 4,
+                "num_workers": 16, "memory_limit_bytes": 16e9}
+
+
+def check(label: str, condition: bool) -> None:
+    print(f"  {'ok' if condition else 'FAIL'}  {label}")
+    if not condition:
+        raise SystemExit(f"serve smoke failed: {label}")
+
+
+def main() -> int:
+    service = PlannerService()
+    inproc = PlannerClient(service)
+    with ServerThread(service) as url:
+        http = HTTPPlannerClient(url)
+        print(f"planner server up at {url}")
+
+        check("healthz", http.healthy())
+
+        served = http.plan(PLAN_REQUEST)
+        local = inproc.plan(PLAN_REQUEST)
+        check("plan: http == in-process",
+              (served["stages"], served["slowest_stage_time"])
+              == (local["stages"], local["slowest_stage_time"]))
+
+        query = normalize_plan_request(PLAN_REQUEST)
+        cold = PipeDreamOptimizer(
+            query.profile, query.topology,
+            memory_limit_bytes=query.memory_limit_bytes,
+        ).solve(query.num_workers)
+        check("plan: served == cold solve (bitwise)",
+              served["stages"]
+              == [[s.start, s.stop, s.replicas] for s in cold.stages]
+              and served["slowest_stage_time"] == cold.slowest_stage_time)
+        check("plan: second request is a cache hit",
+              http.plan(PLAN_REQUEST)["cached"] is True)
+
+        sim = http.simulate(dict(PLAN_REQUEST, strategy="pipedream",
+                                 minibatches=16))
+        check("simulate: sane throughput", sim["throughput"] > 0)
+
+        swept = http.sweep({"models": ["vgg16"], "cluster": "a",
+                            "servers": 1, "counts": [4],
+                            "minibatches": 16})
+        check("sweep: records returned", len(swept["records"]) >= 1)
+
+        results = http.batch([PLAN_REQUEST, {"model": "not-a-model"}])
+        check("batch: good slot answered", "stages" in results[0])
+        check("batch: bad slot isolated in-slot", "error" in results[1])
+
+        try:
+            http.plan({"model": "not-a-model"})
+        except RequestError as exc:
+            check("errors: HTTP 400 -> RequestError",
+                  "unknown model" in str(exc))
+        else:
+            check("errors: HTTP 400 -> RequestError", False)
+
+        stats = http.stats()
+        check("stats: plan cache hit recorded",
+              stats["plan_cache"]["hits"] >= 1)
+    print("serve smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
