@@ -17,6 +17,7 @@ from perf.harness import (
 )
 import perf.workloads  # noqa: F401  (registers the workloads)
 import perf.loadgen  # noqa: F401  (registers the serving workloads)
+import perf.recovery  # noqa: F401  (registers the elastic-recovery workload)
 
 __all__ = [
     "REPORT_PATH",

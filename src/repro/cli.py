@@ -29,6 +29,7 @@ from repro.core.topology import cluster_1080ti, cluster_a, cluster_b, cluster_c
 from repro.profiler import analytic_profile, available_models
 from repro.sim import (
     SimOptions,
+    parse_faults,
     precision_chart,
     records_to_csv,
     run_sweep,
@@ -112,17 +113,53 @@ def cmd_simulate(args) -> int:
     profile = analytic_profile(
         args.model, device=args.device,
         bytes_per_element=PRECISION_BYTES[args.precision])
-    drivers = {
-        "pipedream": lambda: simulate_pipedream(profile, topology,
-                                                num_minibatches=args.minibatches),
-        "dp": lambda: simulate_data_parallel(profile, topology,
-                                             num_minibatches=max(4, args.minibatches // 4)),
-        "mp": lambda: simulate_model_parallel(profile, topology,
-                                              num_minibatches=args.minibatches),
-        "gpipe": lambda: simulate_gpipe(profile, topology,
-                                        num_batches=max(2, args.minibatches // 4)),
-    }
-    result = drivers[args.strategy]()
+    faults = None
+    if args.faults:
+        faults = parse_faults(args.faults, num_workers=topology.total_workers)
+    if faults is not None and faults.halt_time is not None:
+        # A crash in the schedule: run the full elastic cycle (fault-free
+        # oracle, crash-interrupted run, warm re-plan, resumed run) and
+        # report the recovery bill alongside the resumed result.
+        if args.strategy != "pipedream":
+            print("--faults with a crash event requires --strategy pipedream",
+                  file=sys.stderr)
+            return 2
+        from repro.runtime.elastic import ElasticCoordinator
+
+        report = ElasticCoordinator(profile, topology).run_with_recovery(
+            args.minibatches, faults)
+        m = report.metrics
+        rows = [
+            ["crash (sim s)", f"{m.fault_time:.4f}"],
+            ["detected (sim s)", f"{m.detection_time:.4f}"],
+            ["detection latency", f"{m.detection_latency * 1e3:.1f} ms"],
+            ["re-plan (wall)", f"{m.replan_wall_seconds * 1e3:.2f} ms"],
+            ["surviving workers", str(m.surviving_workers)],
+            ["recovery plan", m.plan_config],
+            ["minibatches kept", str(m.minibatches_completed)],
+            ["minibatches re-run", str(m.minibatches_resumed)],
+            ["oracle (sim s)", f"{m.oracle_seconds:.4f}"],
+            ["recovery total (sim s)", f"{m.recovery_total_seconds:.4f}"],
+            ["minibatches lost", f"{m.minibatches_lost:.2f}"],
+        ]
+        print(format_table(["recovery metric", "value"], rows))
+        result = report.resumed
+    else:
+        drivers = {
+            "pipedream": lambda: simulate_pipedream(
+                profile, topology, num_minibatches=args.minibatches,
+                faults=faults),
+            "dp": lambda: simulate_data_parallel(
+                profile, topology,
+                num_minibatches=max(4, args.minibatches // 4), faults=faults),
+            "mp": lambda: simulate_model_parallel(
+                profile, topology, num_minibatches=args.minibatches,
+                faults=faults),
+            "gpipe": lambda: simulate_gpipe(
+                profile, topology, num_batches=max(2, args.minibatches // 4),
+                faults=faults),
+        }
+        result = drivers[args.strategy]()
     rows = [
         ["strategy", result.strategy],
         ["config", result.config],
@@ -259,6 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--minibatches", type=int, default=48)
     p.add_argument("--precision", default="fp32", choices=sorted(PRECISION_BYTES),
                    help="element width the profile is converted to")
+    p.add_argument("--faults", default="",
+                   help="fault spec: 'crash@T:wK', 'slow@T:wK:xF:dD', "
+                        "'bw@T:xF:dD[:wK][:lL]' (comma-joined), or "
+                        "'seed=N[:crashes=..][:stragglers=..]"
+                        "[:degradations=..][:horizon=..]'; a crash "
+                        "triggers the elastic recovery cycle")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser(

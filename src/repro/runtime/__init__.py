@@ -28,12 +28,24 @@ from repro.runtime.pipeline import PipelineTrainer
 from repro.runtime.dataparallel import ASPTrainer, BSPTrainer
 from repro.runtime.gpipe import GPipeTrainer
 from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.elastic import (
+    ElasticCoordinator,
+    RecoveryReport,
+    remap_checkpoints,
+    restore_remapped,
+    surviving_worker_count,
+)
 from repro.runtime.loop import FitResult, fit
 from repro.runtime.threaded import ThreadedPipelineTrainer
 
 __all__ = [
     "AmpTrainer",
     "CheckpointManager",
+    "ElasticCoordinator",
+    "RecoveryReport",
+    "remap_checkpoints",
+    "restore_remapped",
+    "surviving_worker_count",
     "FitResult",
     "fit",
     "GradScaler",

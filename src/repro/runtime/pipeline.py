@@ -661,19 +661,41 @@ class PipelineTrainer:
             return None
         for s in range(self.num_stages):
             for q, replica in enumerate(self.replicas[s]):
-                state = manager.load_stage(s, q, epoch)
-                for name, param in replica.named_params:
-                    param.data = state[name].copy()
-                if replica.master is not None:
-                    replica.master = {
-                        name: p.data for name, p in replica.named_params
-                    }
-                    initial = {
-                        name: cast_payload_fp16(p.data)
-                        for name, p in replica.named_params
-                    }
-                else:
-                    initial = {name: p.data for name, p in replica.named_params}
-                replica.store = WeightStore(initial, policy=replica.policy)
-                replica.contexts.clear()
+                self._install_replica_state(replica, manager.load_stage(s, q, epoch))
         return epoch
+
+    def load_stage_states(self, states: Sequence[Dict[str, np.ndarray]]) -> None:
+        """Install one parameter dict per stage; every replica gets a copy.
+
+        State keys are stage-relative (``"{layer_offset}.{param_path}"``),
+        the same layout checkpoints use.  Version stores restart from
+        version 0, exactly as :meth:`restore_checkpoint` — this is the
+        entry point the elastic control loop uses to resume a *different*
+        partition of the same model from remapped checkpoint state.
+        """
+        if len(states) != self.num_stages:
+            raise ValueError(
+                f"got {len(states)} stage states for {self.num_stages} stages"
+            )
+        for s, state in enumerate(states):
+            for replica in self.replicas[s]:
+                self._install_replica_state(replica, state)
+
+    @staticmethod
+    def _install_replica_state(replica: _StageReplica,
+                               state: Dict[str, np.ndarray]) -> None:
+        """Overwrite a replica's weights and restart its version store."""
+        for name, param in replica.named_params:
+            param.data = state[name].copy()
+        if replica.master is not None:
+            replica.master = {
+                name: p.data for name, p in replica.named_params
+            }
+            initial = {
+                name: cast_payload_fp16(p.data)
+                for name, p in replica.named_params
+            }
+        else:
+            initial = {name: p.data for name, p in replica.named_params}
+        replica.store = WeightStore(initial, policy=replica.policy)
+        replica.contexts.clear()

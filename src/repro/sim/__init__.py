@@ -9,6 +9,7 @@ physical GPU clusters (DESIGN.md §2).
 """
 
 from repro.sim.network import Placement, allreduce_time, transfer_time
+from repro.sim.faults import FaultEvent, FaultSchedule, parse_faults
 from repro.sim.executor import SimOptions, SimResult, OpRecord, simulate
 from repro.sim.memory import (
     data_parallel_memory_footprint,
@@ -41,6 +42,9 @@ __all__ = [
     "Placement",
     "allreduce_time",
     "transfer_time",
+    "FaultEvent",
+    "FaultSchedule",
+    "parse_faults",
     "SimOptions",
     "SimResult",
     "OpRecord",

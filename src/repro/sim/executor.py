@@ -43,6 +43,7 @@ from repro.core.partition import Stage, allreduce_bytes_per_worker
 from repro.core.profile import ModelProfile
 from repro.core.schedule import Op, OpKind, Schedule
 from repro.core.topology import Topology
+from repro.sim.faults import FaultSchedule
 from repro.sim.memory import stage_deferred_weight_bytes
 from repro.sim.network import Placement, allreduce_time
 
@@ -63,10 +64,17 @@ class SimOptions:
     #: and single-port Ethernet more faithfully; off by default so the
     #: calibrated Figure 1 shapes stay put.
     nic_contention: bool = False
+    #: Deterministic fault injection (crash / straggler / bandwidth
+    #: degradation at simulated timestamps).  None or an empty schedule
+    #: leaves every engine code path — and hence the timeline — bitwise
+    #: identical to a fault-free run.
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self):
         if self.sync_mode not in ("pipedream", "bsp", "gpipe"):
             raise ValueError(f"unknown sync mode {self.sync_mode!r}")
+        if self.faults is not None and not isinstance(self.faults, FaultSchedule):
+            raise TypeError("faults must be a FaultSchedule or None")
         if self.worker_speed is not None:
             for worker, speed in self.worker_speed.items():
                 if speed <= 0:
@@ -104,6 +112,10 @@ class SimResult:
     channel_busy: Dict[Tuple[int, int], float]
     sync_busy: Dict[int, float]
     minibatch_done: Dict[int, float]
+    #: Simulated instant a worker crash stopped the run, or None if it
+    #: ran to completion.  When set, the timeline holds only the ops that
+    #: started strictly before this time.
+    halted_at: Optional[float] = None
     _records: Optional[List[OpRecord]] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -191,6 +203,7 @@ class _SimCore:
         "arrivals_f", "arrivals_b", "fwd_end", "bwd_start", "update_done",
         "round_backwards", "minibatch_done", "records", "compute_time",
         "fired", "bumped", "nk", "AB_OFF", "FE_OFF", "UD_OFF", "_bw_cache",
+        "faults", "halt_time", "halted", "_lvl_cache",
     )
 
     def __init__(
@@ -330,6 +343,17 @@ class _SimCore:
         #: marking: only these workers' queued ready times can be stale.
         self.bumped: List[int] = []
         self._bw_cache: Dict[Tuple[int, int], float] = {}
+        self._lvl_cache: Dict[Tuple[int, int], int] = {}
+
+        # An empty schedule is normalized away so the empty case takes
+        # the exact fault-free code paths — the bitwise no-op guarantee
+        # is structural, not arithmetic.
+        faults = options.faults
+        if faults is not None and not faults:
+            faults = None
+        self.faults = faults
+        self.halt_time = faults.halt_time if faults is not None else None
+        self.halted = False
 
     # ------------------------------------------------------------------
     # Round semantics
@@ -467,7 +491,11 @@ class _SimCore:
         kind = op.kind
         if kind is OpKind.FORWARD:
             dur = self.fwd_time[s] / self.speed[worker]
-            end = start + dur
+            if self.faults is None:
+                end = start + dur
+            else:
+                end = self.faults.compute_end(worker, start, dur)
+                dur = end - start
             self.fwd_end[worker * self.nk + sB + b] = end
             if s == self.last_stage:
                 # Only the last stage's own backward waits on forward
@@ -482,7 +510,11 @@ class _SimCore:
             self.worker_free[worker] = end
         elif kind is OpKind.BACKWARD:
             dur = self.bwd_time[s] / self.speed[worker]
-            end = start + dur
+            if self.faults is None:
+                end = start + dur
+            else:
+                end = self.faults.compute_end(worker, start, dur)
+                dur = end - start
             self.bwd_start[worker * self.nk + sB + b] = start
             self.compute_time[worker] += dur
             if s > 0:
@@ -505,6 +537,13 @@ class _SimCore:
             self._bw_cache[(src, dst)] = cached
         return cached
 
+    def _link_level(self, src: int, dst: int) -> int:
+        cached = self._lvl_cache.get((src, dst))
+        if cached is None:
+            cached = self.placement.link_level(src, dst)
+            self._lvl_cache[(src, dst)] = cached
+        return cached
+
     def _send(self, src: int, dst: int, num_bytes: float, ready: float,
               arrivals: Dict[int, float], key: int, fire_offset: int) -> None:
         if src == dst or num_bytes <= 0:
@@ -515,6 +554,10 @@ class _SimCore:
         begin = max(ready, self.channel_free[(src, dst)])
         if self.options.nic_contention:
             begin = max(begin, self.nic_send_free[src], self.nic_recv_free[dst])
+        if self.faults is not None:
+            duration *= self.faults.bandwidth_factor(
+                src, dst, begin, self._link_level(src, dst))
+        if self.options.nic_contention:
             self.nic_send_free[src] = begin + duration
             self.nic_recv_free[dst] = begin + duration
         self.channel_free[(src, dst)] = begin + duration
@@ -597,6 +640,7 @@ class _SimCore:
         total_ops = sum(len(ops) for ops in self.ops_by_rank)
         committed = 0
         fired = self.fired
+        halt = self.halt_time
         while committed < total_ops:
             best_worker = None
             best_time = math.inf
@@ -611,12 +655,101 @@ class _SimCore:
                     best_worker = worker
             if best_worker is None:
                 raise self._deadlock(pointers)
+            if halt is not None and best_time >= halt:
+                # A worker crashed: the globally earliest startable op is
+                # already past the crash instant, so nothing else starts.
+                self.halted = True
+                return
             op = self.schedule.worker_ops[best_worker][pointers[best_worker]]
             fired.clear()
             self.bumped.clear()
             self.execute(best_worker, op, best_time)
             pointers[best_worker] += 1
             committed += 1
+
+    def run_event_general(self) -> None:
+        """Event-driven loop used when fault injection is active.
+
+        Same heap + wakeup-list + dirty-marking structure as
+        :meth:`run_event`, but commits through the shared
+        :meth:`execute` so the fault arithmetic (piecewise straggler
+        integration, bandwidth windows) lives in exactly one place for
+        both engines — engine equivalence under faults falls out for
+        free.  The fault-free hot loop stays fully inlined and untouched.
+
+        Commit times are non-decreasing (a commit can only unblock ops at
+        or after its own start), so halting at the first popped ready
+        time >= the crash instant stops both engines at the identical
+        timeline prefix.
+        """
+        workers = self.workers
+        ops_by_rank = self.ops_by_rank
+        nworkers = len(workers)
+        pointers = [0] * nworkers
+        lengths = [len(ops) for ops in ops_by_rank]
+        total_ops = sum(lengths)
+        heap: List[Tuple[float, int]] = []
+        waiters: Dict[int, List[int]] = {}
+        rank_of = {w: r for r, w in enumerate(workers)}
+        dirty = [False] * nworkers
+        halt = self.halt_time
+        fired = self.fired
+        bumped = self.bumped
+
+        def enqueue(rank: int) -> Optional[Tuple[float, int]]:
+            worker = workers[rank]
+            op = ops_by_rank[rank][pointers[rank]]
+            t, key = self._ready_or_key(worker, op)
+            if t is None:
+                waiters.setdefault(key, []).append(rank)
+                return None
+            return (t, rank)
+
+        for rank in range(nworkers):
+            if lengths[rank]:
+                cand = enqueue(rank)
+                if cand is not None:
+                    heappush(heap, cand)
+
+        committed = 0
+        while committed < total_ops:
+            if not heap:
+                raise self._deadlock(
+                    {w: pointers[r] for r, w in enumerate(workers)})
+            t, rank = heappop(heap)
+            if dirty[rank]:
+                # A BSP round commit bumped this worker after its entry
+                # was queued; clamp against the fresh worker_free.
+                dirty[rank] = False
+                current = self.worker_free[workers[rank]]
+                if current > t:
+                    heappush(heap, (current, rank))
+                    continue
+            if halt is not None and t >= halt:
+                self.halted = True
+                return
+            worker = workers[rank]
+            op = ops_by_rank[rank][pointers[rank]]
+            fired.clear()
+            bumped.clear()
+            self.execute(worker, op, t)
+            pointers[rank] += 1
+            committed += 1
+            if pointers[rank] < lengths[rank]:
+                cand = enqueue(rank)
+                if cand is not None:
+                    heappush(heap, cand)
+            for key in fired:
+                woken = waiters.pop(key, None)
+                if woken is not None:
+                    for other in woken:
+                        cand = enqueue(other)
+                        if cand is not None:
+                            heappush(heap, cand)
+            for w in bumped:
+                r2 = rank_of[w]
+                if r2 != rank:
+                    dirty[r2] = True
 
     def run_event(self) -> None:
         """Event-driven loop: a min-heap of ready head ops plus wakeup
@@ -643,6 +776,10 @@ class _SimCore:
         (and hence the timeline) is bitwise-identical to the reference
         engine, which the test suite asserts.
         """
+        if self.faults is not None:
+            # Fault injection routes through the general loop (shared
+            # commit path); the fault-free fast path below stays intact.
+            return self.run_event_general()
         workers = self.workers
         ops_by_rank = self.ops_by_rank
         nworkers = len(workers)
@@ -970,6 +1107,7 @@ class _SimCore:
             channel_busy=dict(self.channel_busy),
             sync_busy=dict(self.sync_busy),
             minibatch_done=self.minibatch_done,
+            halted_at=self.halt_time if self.halted else None,
         )
 
 

@@ -30,21 +30,30 @@ class Placement:
             remainder //= level.count
         return tuple(coords)
 
-    def link_bandwidth(self, src: int, dst: int) -> float:
-        """Bandwidth between two workers: the slowest level they cross."""
+    def link_level(self, src: int, dst: int) -> int:
+        """Index of the topology level a (src, dst) transfer crosses.
+
+        The outermost level at which the *containing component* differs
+        determines the link; component identity at level k is the
+        coordinate tuple above level k.  Returns -1 when src == dst (no
+        link is crossed).
+        """
         if src == dst:
-            return float("inf")
+            return -1
         src_coords = self.coordinates(src)
         dst_coords = self.coordinates(dst)
-        # The outermost level at which the *containing component* differs
-        # determines the link.  Component identity at level k is the
-        # coordinate tuple above level k.
         crossing = 0
         for k in reversed(range(self.topology.num_levels)):
             if src_coords[k:] != dst_coords[k:]:
                 crossing = k
                 break
-        return self.topology.levels[crossing].bandwidth
+        return crossing
+
+    def link_bandwidth(self, src: int, dst: int) -> float:
+        """Bandwidth between two workers: the slowest level they cross."""
+        if src == dst:
+            return float("inf")
+        return self.topology.levels[self.link_level(src, dst)].bandwidth
 
     def group_span(self, workers: Sequence[int]) -> List[int]:
         """Number of distinct level-k components the group spans, per level.

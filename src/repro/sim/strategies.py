@@ -26,7 +26,34 @@ from repro.core.schedule import (
 )
 from repro.core.topology import Topology
 from repro.sim.executor import SimOptions, SimResult, simulate
+from repro.sim.faults import FaultSchedule
 from repro.sim.memory import data_parallel_memory_footprint, pipeline_memory_footprint
+
+
+@dataclass(frozen=True)
+class RecoveryMetrics:
+    """What one crash/re-plan/resume cycle cost (vs a fault-free oracle).
+
+    Simulated seconds and real (wall) seconds deliberately mix here: the
+    fault timeline, detection, and resumed execution live on the simulated
+    clock, while re-planning runs on the host — PipeDream-style recovery
+    pays the planner's wall time on the cluster's critical path, so the
+    downtime charged to the simulated timeline is
+    ``detection_latency + replan_wall_seconds``.
+    """
+
+    fault_time: float  # sim seconds: when the worker crashed
+    detection_time: float  # sim seconds: first missed heartbeat boundary
+    detection_latency: float  # detection_time - fault_time
+    replan_wall_seconds: float  # warm-started re-plan, host wall clock
+    surviving_workers: int  # workers the new plan runs on
+    plan_config: str  # replica signature of the recovery plan
+    minibatches_completed: int  # finished before the crash
+    minibatches_resumed: int  # re-run + remaining after resume
+    recovery_total_seconds: float  # sim: crash-free prefix + downtime + resumed run
+    oracle_seconds: float  # sim: fault-free run of the same workload
+    minibatches_lost: float  # extra time, in units of oracle minibatches
+    service_cached: bool = False  # re-plan answered from the planner cache
 
 
 @dataclass
@@ -47,6 +74,9 @@ class StrategyResult:
     #: pipeline) — lets callers recompute per-stage breakdowns and §3.3
     #: footprints without re-deriving the plan.
     stages: List[Stage] = field(default_factory=list)
+    #: Filled by the elastic control loop when this result came out of a
+    #: crash/re-plan/resume cycle; None for ordinary runs.
+    recovery: Optional[RecoveryMetrics] = None
 
     @property
     def samples_per_second(self) -> float:
@@ -85,6 +115,7 @@ def simulate_data_parallel(
     num_minibatches: int = 16,
     engine: str = "event",
     precision: Optional[str] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> StrategyResult:
     """BSP data parallelism with wait-free backprop (§2.1).
 
@@ -95,7 +126,8 @@ def simulate_data_parallel(
     profile = resolve_precision(profile, precision)
     workers = topology.total_workers
     schedule = data_parallel_schedule(workers, num_minibatches, num_layers=len(profile))
-    sim = simulate(schedule, profile, topology, SimOptions(sync_mode="bsp"),
+    sim = simulate(schedule, profile, topology,
+                   SimOptions(sync_mode="bsp", faults=faults),
                    engine=engine)
     # One simulated iteration = one minibatch per worker, so the run covers
     # ``num_minibatches * workers`` actual minibatches.
@@ -125,6 +157,7 @@ def simulate_model_parallel(
     num_minibatches: int = 16,
     engine: str = "event",
     precision: Optional[str] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> StrategyResult:
     """Vanilla model parallelism (Figure 2): no pipelining, one in flight."""
     profile = resolve_precision(profile, precision)
@@ -133,7 +166,8 @@ def simulate_model_parallel(
     schedule = model_parallel_schedule(
         len(stages), num_minibatches, layer_bounds=[(s.start, s.stop) for s in stages]
     )
-    sim = simulate(schedule, profile, topology, SimOptions(sync_mode="pipedream"),
+    sim = simulate(schedule, profile, topology,
+                   SimOptions(sync_mode="pipedream", faults=faults),
                    engine=engine)
     samples = num_minibatches * profile.batch_size
     total_bytes = communication_bytes_per_minibatch(profile, list(stages)) * num_minibatches
@@ -161,6 +195,7 @@ def simulate_gpipe(
     recompute: bool = True,
     engine: str = "event",
     precision: Optional[str] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> StrategyResult:
     """GPipe-style inter-batch pipelining with flushes (§2.2, Figure 3).
 
@@ -183,6 +218,7 @@ def simulate_gpipe(
         sync_mode="gpipe",
         recompute_activations=recompute,
         microbatches_per_batch=num_microbatches,
+        faults=faults,
     )
     sim = simulate(schedule, micro_profile, topology, options, engine=engine)
     samples = num_batches * profile.batch_size
@@ -217,11 +253,13 @@ def simulate_partition(
     noam: Optional[int] = None,
     strategy_name: str = "pipedream",
     engine: str = "event",
+    faults: Optional[FaultSchedule] = None,
 ) -> StrategyResult:
     """Simulate an explicit PipeDream partition with the 1F1B-RR schedule."""
     stages = list(stages)
     schedule = one_f_one_b_rr_schedule(stages, num_minibatches, noam=noam)
-    sim = simulate(schedule, profile, topology, SimOptions(sync_mode="pipedream"),
+    sim = simulate(schedule, profile, topology,
+                   SimOptions(sync_mode="pipedream", faults=faults),
                    engine=engine)
     samples = num_minibatches * profile.batch_size
     total_bytes = communication_bytes_per_minibatch(profile, stages) * num_minibatches
@@ -254,6 +292,7 @@ def simulate_pipedream(
     optimizer: Optional[PipeDreamOptimizer] = None,
     engine: str = "event",
     precision: Optional[str] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> StrategyResult:
     """Run the optimizer, then simulate its chosen configuration.
 
@@ -283,7 +322,7 @@ def simulate_pipedream(
         plan = optimizer.solve(topology.total_workers)
     if plan.is_data_parallel:
         result = simulate_data_parallel(profile, topology, num_minibatches,
-                                        engine=engine)
+                                        engine=engine, faults=faults)
         return StrategyResult(
             strategy="pipedream",
             config=result.config,
@@ -298,7 +337,7 @@ def simulate_pipedream(
             stages=result.stages,
         )
     return simulate_partition(profile, topology, plan.stages, num_minibatches,
-                              plan.noam, engine=engine)
+                              plan.noam, engine=engine, faults=faults)
 
 
 # ----------------------------------------------------------------------

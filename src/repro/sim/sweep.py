@@ -89,6 +89,11 @@ class SweepRecord:
     stage_memory_bytes: Tuple[int, ...] = ()
     precision: str = "fp32"
     allreduce_seconds: float = 0.0
+    #: Recovery columns, filled only for rows produced by the elastic
+    #: control loop (``repro.runtime.elastic``); zero for ordinary cells.
+    detection_latency: float = 0.0
+    replan_seconds: float = 0.0
+    minibatches_lost: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -269,6 +269,16 @@ class TestHTTPTransport:
         assert stats["requests"]["plan"] >= 1
         assert "plan_cache" in stats
 
+    def test_two_servers_coexist(self, server):
+        """Port-0 binding: a second server on the same host picks its own
+        ephemeral port, and both answer while the first is still up."""
+        http, _ = server
+        with ServerThread(PlannerService()) as second_url:
+            second = HTTPPlannerClient(second_url)
+            assert second_url != http.base_url
+            assert second.healthy() and http.healthy()
+            assert served_tuple(second.plan(VGG)) == served_tuple(http.plan(VGG))
+
     def test_concurrent_clients_all_correct(self, server):
         http, _ = server
         requests = [

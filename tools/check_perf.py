@@ -55,6 +55,24 @@ def main(argv: list[str] | None = None) -> int:
         for key, value in entry.get("detail", {}).items():
             if isinstance(value, bool) and not value:
                 failures.append(f"{name}: detail flag {key!r} is false")
+        # Absolute-bound gate: workloads may expose a "gated_bounds" dict
+        # of {metric: {"value": v, "min": m}} / {..., "max": M} entries —
+        # hard floors/ceilings independent of the recorded baseline (the
+        # recovery workload's >=5x warm re-plan and bounded
+        # minibatches-lost live here).
+        for key, spec in entry.get("detail", {}).get("gated_bounds", {}).items():
+            value = spec.get("value")
+            if value is None:
+                failures.append(f"{name}: gated bound {key!r} has no value")
+                continue
+            if "min" in spec and value < spec["min"]:
+                failures.append(
+                    f"{name}: {key} {value:.4g} is below the required "
+                    f"minimum {spec['min']:.4g}")
+            if "max" in spec and value > spec["max"]:
+                failures.append(
+                    f"{name}: {key} {value:.4g} exceeds the allowed "
+                    f"maximum {spec['max']:.4g}")
         # Latency gate: workloads may expose a "gated_latency_ms" dict
         # (the loadgen's p50/p99); each entry is held to the same ratio
         # threshold as the headline seconds.
