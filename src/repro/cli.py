@@ -95,7 +95,8 @@ def cmd_plan(args) -> int:
     profile = analytic_profile(
         args.model, device=args.device,
         bytes_per_element=PRECISION_BYTES[args.precision])
-    result = PipeDreamOptimizer(profile, topology).solve()
+    result = PipeDreamOptimizer(
+        profile, topology, bucket_bytes=args.bucket_bytes).solve()
     plan = DeploymentPlan.from_partition(result)
     print(plan.describe())
     print(f"config: {result.config_string}   "
@@ -148,16 +149,17 @@ def cmd_simulate(args) -> int:
         drivers = {
             "pipedream": lambda: simulate_pipedream(
                 profile, topology, num_minibatches=args.minibatches,
-                faults=faults),
+                faults=faults, bucket_bytes=args.bucket_bytes),
             "dp": lambda: simulate_data_parallel(
                 profile, topology,
-                num_minibatches=max(4, args.minibatches // 4), faults=faults),
+                num_minibatches=max(4, args.minibatches // 4), faults=faults,
+                bucket_bytes=args.bucket_bytes),
             "mp": lambda: simulate_model_parallel(
                 profile, topology, num_minibatches=args.minibatches,
-                faults=faults),
+                faults=faults, bucket_bytes=args.bucket_bytes),
             "gpipe": lambda: simulate_gpipe(
                 profile, topology, num_batches=max(2, args.minibatches // 4),
-                faults=faults),
+                faults=faults, bucket_bytes=args.bucket_bytes),
         }
         result = drivers[args.strategy]()
     rows = [
@@ -185,16 +187,19 @@ def cmd_sweep(args) -> int:
         device=args.device,
         minibatches=args.minibatches,
         precisions=tuple(args.precisions),
+        bucket_sizes=tuple(args.bucket_sizes),
     )
     rows = [
-        [r.model, str(r.workers), r.strategy, r.precision, r.config,
+        [r.model, str(r.workers), r.strategy, r.precision,
+         "-" if r.bucket_bytes is None else f"{r.bucket_bytes / 1e6:g}MB",
+         r.config,
          f"{r.samples_per_second:,.0f}", f"{r.communication_overhead:.1%}",
          f"{r.allreduce_seconds * 1e3:.2f} ms",
          f"{max(r.stage_memory_bytes) / 1e9:.2f} GB"]
         for r in records
     ]
     print(format_table(
-        ["model", "workers", "strategy", "precision", "config",
+        ["model", "workers", "strategy", "precision", "bucket", "config",
          "samples/s", "comm", "allreduce/round", "peak stage mem"], rows
     ))
     if args.csv:
@@ -255,6 +260,13 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def _bucket_size(text: str) -> Optional[float]:
+    """Sweep axis value: a byte cap, or 'none' for the unfused baseline."""
+    if text.lower() in ("none", "off"):
+        return None
+    return float(text)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="PipeDream reproduction toolkit"
@@ -285,6 +297,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_cluster_args(p)
     p.add_argument("--precision", default="fp32", choices=sorted(PRECISION_BYTES),
                    help="element width the profile (and plan) assumes")
+    p.add_argument("--bucket-bytes", type=float, default=None,
+                   help="gradient-fusion cap in bytes: plan with DDP-style "
+                        "bucketed, backward-overlapped weight sync "
+                        "(default: one monolithic per-round payload)")
     p.add_argument("--json", help="write the deployment plan to this file")
     p.set_defaults(func=cmd_plan)
 
@@ -296,6 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--minibatches", type=int, default=48)
     p.add_argument("--precision", default="fp32", choices=sorted(PRECISION_BYTES),
                    help="element width the profile is converted to")
+    p.add_argument("--bucket-bytes", type=float, default=None,
+                   help="gradient-fusion cap in bytes: simulate with "
+                        "bucketed, backward-overlapped weight sync")
     p.add_argument("--faults", default="",
                    help="fault spec: 'crash@T:wK', 'slow@T:wK:xF:dD', "
                         "'bw@T:xF:dD[:wK][:lL]' (comma-joined), or "
@@ -315,6 +334,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["dp", "pipedream", "mp", "gpipe"])
     p.add_argument("--precisions", nargs="+", default=["fp32", "fp16"],
                    choices=sorted(PRECISION_BYTES))
+    p.add_argument("--bucket-sizes", nargs="+", type=_bucket_size,
+                   default=[None], metavar="BYTES|none",
+                   help="gradient-fusion caps to sweep ('none' = monolithic "
+                        "per-round payload)")
     p.add_argument("--device", default="v100",
                    choices=["v100", "1080ti", "titanx"])
     p.add_argument("--minibatches", type=int, default=48)

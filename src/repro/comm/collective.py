@@ -38,8 +38,7 @@ def ring_allreduce(
         if list(c) != names:
             raise ValueError("participants must contribute the same parameters")
     if m == 1:
-        scale = 1.0
-        return [{k: v.copy() * scale for k, v in contributions[0].items()}]
+        return [{k: v.copy() for k, v in contributions[0].items()}]
     network = network if network is not None else Network()
 
     # Flatten every contribution into one vector, split into m chunks.
@@ -108,15 +107,10 @@ def ring_allreduce_bytes(num_elements: int, num_participants: int,
     """
     if num_participants <= 1:
         return 0
-    # Chunks are integer splits, so mirror the same linspace the algorithm
-    # uses rather than assuming perfectly even chunks.
-    bounds = np.linspace(0, num_elements, num_participants + 1, dtype=int)
-    chunk_sizes = np.diff(bounds)
-    per_step = int(chunk_sizes.sum())  # every step moves one chunk per rank
-    total_elements = 0
-    for step in range(num_participants - 1):
-        total_elements += per_step
-    return 2 * total_elements * bytes_per_element
+    # Every step moves exactly one chunk per rank, and the chunks of one
+    # step always partition the full vector — so each of the (m - 1)
+    # reduce-scatter and (m - 1) all-gather steps moves |data| elements.
+    return 2 * (num_participants - 1) * int(num_elements) * bytes_per_element
 
 
 def allreduce_bytes_for_profile(
@@ -133,9 +127,20 @@ def allreduce_bytes_for_profile(
     recovered by dividing it back out before applying the closed form —
     an fp16 profile therefore reports half the volume of its fp32
     counterpart, which is the whole point of Figure 12's comparison.
+
+    Element counts are recovered *per layer*: ``with_precision`` clamps
+    each layer's bytes via ``max(1, round(...))``, so dividing the
+    *summed* bytes would drift whenever any layer was clamped (a 1-byte
+    fp16 layer would otherwise vanish from — or distort — the count).
+    Per-layer recovery inverts the same clamp, keeping the element count
+    precision-invariant and the fp16/fp32 volume ratio exactly the byte
+    ratio.
     """
     stop = len(profile) if stop is None else stop
-    weight_bytes = profile.weight_bytes(start, stop)
     per_element = max(1, int(profile.bytes_per_element))
-    num_elements = int(round(weight_bytes / per_element))
+    num_elements = sum(
+        max(1, round(layer.weight_bytes / per_element))
+        for layer in profile.layers[start:stop]
+        if layer.weight_bytes > 0
+    )
     return ring_allreduce_bytes(num_elements, num_participants, per_element)

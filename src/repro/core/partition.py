@@ -297,6 +297,16 @@ class PipeDreamOptimizer:
             that differs from earlier ones only in worker count or memory
             cap is warm-started.  Results are bitwise identical to a cold
             solve.
+        bucket_bytes: gradient-fusion granularity.  ``None`` (default)
+            prices a replicated stage's streamable sync as one payload;
+            a positive value fuses gradients into buckets of at most this
+            many bytes (:mod:`repro.comm.bucketing`), and both the DP
+            interior and the final candidate scoring then charge the
+            per-collective setup latency α of the topology's levels once
+            per bucket — which is what makes fusion granularity a real
+            planning knob on latency-bearing clusters.  With every level
+            at the default ``allreduce_latency=0`` the DP tables are
+            bitwise unchanged for any ``bucket_bytes``.
     """
 
     def __init__(
@@ -308,6 +318,7 @@ class PipeDreamOptimizer:
         vectorize: bool = True,
         memory_refine: bool = True,
         context: Optional[SolverContext] = None,
+        bucket_bytes: Optional[float] = None,
     ):
         self.profile = profile
         self.topology = topology
@@ -315,6 +326,11 @@ class PipeDreamOptimizer:
         self.memory_limit_bytes = memory_limit_bytes
         self.memory_refine = memory_refine
         self.vectorize = vectorize and np is not None
+        if bucket_bytes is not None and bucket_bytes <= 0:
+            raise ValueError("bucket_bytes must be positive")
+        self.bucket_bytes = None if bucket_bytes is None else float(bucket_bytes)
+        self._bucket_table_cache: Optional[List[List[int]]] = None
+        self._bucket_matrix_cache = None
         if context is not None and not context.matches(profile):
             raise ValueError(
                 "SolverContext was built for a different profile "
@@ -341,6 +357,7 @@ class PipeDreamOptimizer:
             self.allow_replication,
             self.vectorize,
             topology.compute_scale,
+            self.bucket_bytes,
         )
         #: level-table memo for the vectorized DP, keyed by the namespace
         #: plus the (count, bandwidth, allreduce_bandwidth) tuple of every
@@ -390,6 +407,39 @@ class PipeDreamOptimizer:
     def _activation_sum(self, i: int, j: int) -> float:
         """Summed activation stash of layers i..j inclusive (one minibatch)."""
         return self._prefix_acts[j + 1] - self._prefix_acts[i]
+
+    def _bucket_count(self, i: int, j: int) -> int:
+        """Streamable collectives per round for span i..j inclusive.
+
+        With fusion off the stage all_reduces its streamable gradients as
+        one payload; with ``bucket_bytes`` set it launches one collective
+        per gradient bucket, each paying the level setup latency α again
+        (the DP only reads this under ``α > 0``, so the α=0 default stays
+        bitwise untouched).
+        """
+        if self.bucket_bytes is None:
+            return 1
+        if self._bucket_table_cache is None:
+            from repro.comm.bucketing import stream_bucket_count_table
+
+            # Weight bytes are compute-scale-invariant, so the device
+            # profile and the raw profile give the same table.
+            self._bucket_table_cache = stream_bucket_count_table(
+                self._device_profile, self.bucket_bytes
+            )
+        return self._bucket_table_cache[i][j]
+
+    def _bucket_matrix(self):
+        """(n, n) float64 twin of :meth:`_bucket_count` for the numpy DPs."""
+        if self._bucket_matrix_cache is None:
+            if self.bucket_bytes is None:
+                self._bucket_matrix_cache = np.ones((self._n, self._n))
+            else:
+                self._bucket_count(0, 0)  # materialize the int table
+                self._bucket_matrix_cache = np.asarray(
+                    self._bucket_table_cache, dtype=np.float64
+                )
+        return self._bucket_matrix_cache
 
     def _memory_ok(self, i: int, j: int) -> bool:
         """Phase-1 feasibility of span i..j: the shared-kernel bound."""
@@ -563,7 +613,8 @@ class PipeDreamOptimizer:
         scored = [
             (
                 evaluate_partition_on_topology(
-                    self.profile, stages, topology, vectorize=self.vectorize
+                    self.profile, stages, topology, vectorize=self.vectorize,
+                    bucket_bytes=self.bucket_bytes,
                 ),
                 stages,
             )
@@ -647,7 +698,8 @@ class PipeDreamOptimizer:
         bound-filtered candidates).
         """
         sig = tuple(
-            (lv.count, lv.bandwidth, lv.allreduce_bandwidth)
+            (lv.count, lv.bandwidth, lv.allreduce_bandwidth,
+             lv.allreduce_latency)
             for lv in topology.levels
         )
         cache_key = self._cache_ns + ("refined", sig)
@@ -656,11 +708,15 @@ class PipeDreamOptimizer:
             if self.context is not None:
                 self.context._bump("level_hits")
             return cached[0]
-        coeffs, link_bw = self._comm_tables_for(topology, sig)
+        coeffs, link_bw, lats = self._comm_tables_for(topology, sig)
         if self.vectorize:
-            stages = self._solve_refined_vectorized(topology, coeffs, link_bw)
+            stages = self._solve_refined_vectorized(
+                topology, coeffs, link_bw, lats
+            )
         else:
-            stages = self._solve_refined_reference(topology, coeffs, link_bw)
+            stages = self._solve_refined_reference(
+                topology, coeffs, link_bw, lats
+            )
         self._level_cache[cache_key] = (stages,)
         if self.context is not None:
             self.context._bump("level_misses")
@@ -685,11 +741,12 @@ class PipeDreamOptimizer:
         self.context._bump("comm_misses")
         return tables
 
-    def _refined_row_keys(self, W: int, coeffs, link_bw) -> List[tuple]:
+    def _refined_row_keys(self, W: int, coeffs, link_bw, lats) -> List[tuple]:
         """Chained placement signatures for suffix-DP rows ``1..W``.
 
         Row ``m`` of the suffix DP depends on the topology only through
-        ``coeffs[m][1..m]``, the boundary bandwidths
+        ``coeffs[m][1..m]`` (and the matching setup latencies
+        ``lats[m][1..m]``), the boundary bandwidths
         ``link_bw[W-m+mp]`` for ``mp = 1..m``, and rows ``< m`` — so a key
         that chains exactly those values identifies the row's *bitwise*
         value regardless of the total worker count it was computed under.
@@ -698,17 +755,18 @@ class PipeDreamOptimizer:
         hierarchy identically, their signatures match, and the rows are
         handed over instead of recomputed.  Everything else a row depends
         on (profile arrays, memory limit, replication flag, compute scale,
-        scalar-vs-numpy twin) lives in the namespace prefix.
+        bucket size, scalar-vs-numpy twin) lives in the namespace prefix.
         """
         ns = ("rows", self._cache_ns)
         keys: List[tuple] = [()] * (W + 1)
         chain: tuple = ("base", self._n)
         for m in range(1, W + 1):
             coeff_m = tuple(coeffs[m][1 : m + 1])
+            lat_m = tuple(lats[m][1 : m + 1])
             bw_m = tuple(
                 link_bw[min(W - m + mp, W - 1)] for mp in range(1, m + 1)
             )
-            chain = (coeff_m, bw_m, chain)
+            chain = (coeff_m, lat_m, bw_m, chain)
             keys[m] = (ns, m, chain)
         return keys
 
@@ -719,33 +777,51 @@ class PipeDreamOptimizer:
         seconds-per-byte of the contiguous group ``[W-m, W-m+mp-1]``,
         accumulated level by level exactly as
         :func:`repro.sim.network.allreduce_time` (and the vectorized
-        evaluator) does; ``link_bw[w]`` is the bandwidth of the link
-        between workers ``w-1`` and ``w`` — the outermost level whose
-        component they do not share.  Both twins consume these shared
-        python floats, so their candidate values agree bitwise.
+        evaluator) does: at each level the concurrent per-parent rings
+        finish with the *largest* one, so the coefficient uses the
+        closed-form max per-parent sibling count of the contiguous range
+        (``round(prev_span / span_above)`` — the rounded mean — used to
+        under-price uneven packings such as 5 workers under 4-per-server).
+        ``lats[m][mp]`` is the summed per-collective setup latency α of
+        the levels that group actually rings on — the once-per-collective
+        cost the DP multiplies by the bucket count.  ``link_bw[w]`` is the
+        bandwidth of the link between workers ``w-1`` and ``w`` — the
+        outermost level whose component they do not share.  Both twins
+        consume these shared python floats, so their candidate values
+        agree bitwise.
         """
         levels = topology.levels
         W = topology.total_workers
         coeffs = [[0.0] * (m + 1) for m in range(W + 1)]
+        lats = [[0.0] * (m + 1) for m in range(W + 1)]
         for m in range(1, W + 1):
             first = W - m
             for mp in range(1, m + 1):
                 last = first + mp - 1
-                spans = []
+                coeff = 0.0
+                lat = 0.0
                 per_component = 1
                 for level in levels:
-                    spans.append(
-                        last // per_component - first // per_component + 1
-                    )
-                    per_component *= level.count
-                coeff = 0.0
-                prev_span = mp
-                for k, level in enumerate(levels):
-                    span_above = spans[k + 1] if k + 1 < len(spans) else 1
-                    group = max(1, round(prev_span / max(1, span_above)))
-                    coeff += 2.0 * (group - 1) / group / level.allreduce_bandwidth
-                    prev_span = span_above
+                    count_k = level.count
+                    u_first = first // per_component
+                    u_last = last // per_component
+                    p_first = u_first // count_k
+                    p_last = u_last // count_k
+                    if p_first == p_last:
+                        group = u_last - u_first + 1
+                    elif p_last - p_first >= 2:
+                        group = count_k
+                    else:
+                        group = max((p_first + 1) * count_k - u_first,
+                                    u_last - p_last * count_k + 1)
+                    if group > 1:
+                        coeff += (
+                            2.0 * (group - 1) / group / level.allreduce_bandwidth
+                        )
+                        lat += level.allreduce_latency
+                    per_component *= count_k
                 coeffs[m][mp] = coeff
+                lats[m][mp] = lat
         link_bw = [levels[0].bandwidth] * max(W, 2)
         for w in range(1, W):
             crossing = 0
@@ -755,15 +831,18 @@ class PipeDreamOptimizer:
                     crossing = k
                 per_component *= level.count
             link_bw[w] = levels[crossing].bandwidth
-        return coeffs, link_bw
+        return coeffs, link_bw, lats
 
     def _refined_stage_time(
-        self, j: int, k: int, mp: int, m: int, coeff: float, limit: float,
+        self, j: int, k: int, mp: int, m: int, coeff: float, lat: float,
+        limit: float,
     ) -> float:
         """Leading-stage time for the suffix DP (inf when masked out).
 
         ``coeff`` is the placement-exact all_reduce seconds-per-byte of
-        the group this (suffix ``m``, replicas ``mp``) stage occupies.
+        the group this (suffix ``m``, replicas ``mp``) stage occupies;
+        ``lat`` the per-collective setup latency that group pays, charged
+        once per stream bucket plus once for the deferred payload.
         """
         if mp > 1 and not self.allow_replication:
             return math.inf
@@ -781,10 +860,17 @@ class PipeDreamOptimizer:
         deferred = self._recurrent_weights(j, k)
         overlappable = (weights - deferred) * coeff / mp
         non_overlappable = deferred * coeff / mp
+        if lat > 0.0:
+            if weights - deferred > 0:
+                overlappable = (
+                    overlappable + lat * self._bucket_count(j, k) / mp
+                )
+            if deferred > 0:
+                non_overlappable = non_overlappable + lat / mp
         return max(compute_term, overlappable) + non_overlappable
 
     def _solve_refined_reference(
-        self, topology: Topology, coeffs, link_bw
+        self, topology: Topology, coeffs, link_bw, lats
     ) -> Optional[List[Stage]]:
         """Scalar suffix DP (the oracle the vectorized twin must match)."""
         n = self._n
@@ -800,7 +886,7 @@ class PipeDreamOptimizer:
         R[0][n] = 0.0
         row_cache = None if self.context is None else self.context.refined_rows
         row_keys = (
-            self._refined_row_keys(W, coeffs, link_bw)
+            self._refined_row_keys(W, coeffs, link_bw, lats)
             if row_cache is not None
             else None
         )
@@ -831,7 +917,7 @@ class PipeDreamOptimizer:
                                 2.0 * act / link_bw[min(W - m + mp, W - 1)]
                             )
                         stage_t = self._refined_stage_time(
-                            j, k, mp, m, coeffs[m][mp], limit
+                            j, k, mp, m, coeffs[m][mp], lats[m][mp], limit
                         )
                         candidate = max(stage_t, boundary, rest)
                         if candidate < best:
@@ -851,7 +937,7 @@ class PipeDreamOptimizer:
         return self._reconstruct_refined(ptr_k, ptr_mp, W)
 
     def _solve_refined_vectorized(
-        self, topology: Topology, coeffs, link_bw
+        self, topology: Topology, coeffs, link_bw, lats
     ) -> Optional[List[Stage]]:
         """Numpy suffix DP: per worker count, one argmin over a (k, m')
         candidate cube.  The (k-major, m'-minor) flattening reproduces the
@@ -880,7 +966,7 @@ class PipeDreamOptimizer:
         ptr_mp = np.full((W + 1, n), -1, dtype=np.int64)
         row_cache = None if self.context is None else self.context.refined_rows
         row_keys = (
-            self._refined_row_keys(W, coeffs, link_bw)
+            self._refined_row_keys(W, coeffs, link_bw, lats)
             if row_cache is not None
             else None
         )
@@ -898,13 +984,23 @@ class PipeDreamOptimizer:
                 # Leading-stage time for this (m, mp): the placement-exact
                 # coeff varies with the suffix, so it cannot be hoisted.
                 coeff = coeffs[m][mp]
+                lat = lats[m][mp]
                 if mp == 1:
                     tval = np.where(valid, compute / 1, inf)
                 elif not self.allow_replication:
                     tval = np.full((n, n), inf)
                 else:
-                    tm = np.maximum(compute / mp, (Wt - D) * coeff / mp)
-                    tm = tm + D * coeff / mp
+                    stream_t = (Wt - D) * coeff / mp
+                    deferred_t = D * coeff / mp
+                    if lat > 0.0:
+                        stream_t = stream_t + np.where(
+                            Wt - D > 0, lat * self._bucket_matrix() / mp, 0.0
+                        )
+                        deferred_t = deferred_t + np.where(
+                            D > 0, lat / mp, 0.0
+                        )
+                    tm = np.maximum(compute / mp, stream_t)
+                    tm = tm + deferred_t
                     tval = np.where(valid, tm, inf)
                 versions = -(-m // mp)
                 cost = self._stage_memory_cost(Wt, D, At, versions, mp)
@@ -986,10 +1082,11 @@ class PipeDreamOptimizer:
         tables: List[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]] = []
         prev_capacity = 1
         prev_workers = 1
-        key_parts: List[Tuple[int, float, float]] = []
+        key_parts: List[Tuple[int, float, float, float]] = []
         for k, level in enumerate(topology.levels, start=1):
             mk, bandwidth = level.count, level.bandwidth
-            key_parts.append((mk, bandwidth, level.allreduce_bandwidth))
+            key_parts.append((mk, bandwidth, level.allreduce_bandwidth,
+                              level.allreduce_latency))
             # The namespace prefix matters once the cache is shared: level
             # tables bake the memory-feasibility mask (and the replication
             # flag) into A, so entries are only valid under the exact
@@ -1017,11 +1114,23 @@ class PipeDreamOptimizer:
                 D = pr[None, 1:] - pr[:n, None]
                 WD = W - D
                 arbw = level.allreduce_bandwidth
+                alpha = level.allreduce_latency
                 for m in range(2, mk + 1):
                     ring = 2.0 * (m - 1) / m / arbw
                     round_size = m * prev_workers
-                    tm = np.maximum(compute / m, ring * WD / round_size)
-                    tm = tm + ring * D / round_size
+                    stream_t = ring * WD / round_size
+                    deferred_t = ring * D / round_size
+                    if alpha > 0.0:
+                        stream_t = stream_t + np.where(
+                            WD > 0,
+                            alpha * self._bucket_matrix() / round_size,
+                            0.0,
+                        )
+                        deferred_t = deferred_t + np.where(
+                            D > 0, alpha / round_size, 0.0
+                        )
+                    tm = np.maximum(compute / m, stream_t)
+                    tm = tm + deferred_t
                     T[m] = np.where(feasible, tm, inf)
 
             # ----- A^k recurrence -------------------------------------
@@ -1119,6 +1228,7 @@ class PipeDreamOptimizer:
 
             stage_cache: Dict[Tuple[int, int, int], float] = {}
             allreduce_bandwidth = level.allreduce_bandwidth
+            allreduce_latency = level.allreduce_latency
 
             def stage_time(i: int, j: int, m: int) -> float:
                 """T^k(i→j, m): single stage replicated over m components."""
@@ -1127,7 +1237,7 @@ class PipeDreamOptimizer:
                     return cached
                 result = self._stage_time_uncached(
                     tables, k, prev_capacity, prev_workers,
-                    allreduce_bandwidth, i, j, m,
+                    allreduce_bandwidth, allreduce_latency, i, j, m,
                 )
                 stage_cache[(i, j, m)] = result
                 return result
@@ -1169,6 +1279,7 @@ class PipeDreamOptimizer:
         prev_capacity: int,
         prev_workers: int,
         allreduce_bandwidth: float,
+        allreduce_latency: float,
         i: int,
         j: int,
         m: int,
@@ -1184,6 +1295,12 @@ class PipeDreamOptimizer:
           amortized over the round of ``m * prev_workers`` minibatches that
           one synchronization covers (replicas synchronize once per
           round-robin sweep, §3.2/§4).
+
+        With a per-collective setup latency α on the level, the stream
+        share additionally pays ``α · N / round_size`` (``N`` collectives
+        per round — one per gradient bucket, or 1 with fusion off) and the
+        deferred share ``α / round_size``; the ``α > 0`` guard keeps the
+        default tables bitwise identical to the pre-latency model.
 
         This is the paper's §3.1 formulation with the communication term
         normalized to once-per-round semantics so the optimizer, the
@@ -1210,6 +1327,16 @@ class PipeDreamOptimizer:
         ring = 2.0 * (m - 1) / m / allreduce_bandwidth
         overlappable = ring * (weights - deferred) / round_size
         non_overlappable = ring * deferred / round_size
+        if allreduce_latency > 0.0:
+            if weights - deferred > 0:
+                overlappable = (
+                    overlappable
+                    + allreduce_latency * self._bucket_count(i, j) / round_size
+                )
+            if deferred > 0:
+                non_overlappable = (
+                    non_overlappable + allreduce_latency / round_size
+                )
         return max(compute_term, overlappable) + non_overlappable
 
     def _reconstruct(
@@ -1328,20 +1455,23 @@ class _EvalTables:
     """
 
     __slots__ = ("prefix_time", "prefix_weights", "prefix_recurrent", "acts",
+                 "prefix_backward",
                  "np_time", "np_weights", "np_recurrent", "np_acts")
 
     def __init__(self, profile: ModelProfile):
-        pt, pw, pr = [0.0], [0.0], [0.0]
+        pt, pw, pr, pb = [0.0], [0.0], [0.0], [0.0]
         acts: List[float] = []
         for layer in profile:
             pt.append(pt[-1] + layer.compute_time)
             pw.append(pw[-1] + layer.weight_bytes)
             recurrent = layer.weight_bytes if layer.kind in RECURRENT_KINDS else 0
             pr.append(pr[-1] + recurrent)
+            pb.append(pb[-1] + layer.backward)
             acts.append(float(layer.activation_bytes))
         self.prefix_time = pt
         self.prefix_weights = pw
         self.prefix_recurrent = pr
+        self.prefix_backward = pb
         self.acts = acts
         if np is not None:
             self.np_time = np.asarray(pt)
@@ -1386,6 +1516,14 @@ class PartitionEvaluation:
     (``pipeline_memory_footprint`` under 1F1B warmup depths), with
     ``memory_limit_bytes`` echoing the caller's capacity (``None`` when
     unconstrained).
+
+    ``sync_exposed[i]`` / ``sync_hidden[i]`` split stage ``i``'s
+    per-minibatch weight-sync seconds into the share on the critical path
+    (extends the round past its compute) and the share hidden under
+    backward compute by wait-free overlap.  Their sum is the stage's
+    total amortized sync duration; unreplicated stages report 0/0.
+    ``bucket_bytes`` echoes the fusion granularity the evaluation was
+    priced with (``None`` = the legacy single-payload model).
     """
 
     bottleneck_time: float
@@ -1393,6 +1531,9 @@ class PartitionEvaluation:
     boundary_times: Tuple[float, ...]
     memory_bytes: Tuple[int, ...] = ()
     memory_limit_bytes: Optional[float] = None
+    sync_exposed: Tuple[float, ...] = ()
+    sync_hidden: Tuple[float, ...] = ()
+    bucket_bytes: Optional[float] = None
 
     @property
     def bottleneck_stage(self) -> int:
@@ -1414,6 +1555,7 @@ def evaluate_partition_details(
     topology: Topology,
     vectorize: bool = True,
     memory_limit_bytes: Optional[float] = None,
+    bucket_bytes: Optional[float] = None,
 ) -> PartitionEvaluation:
     """Like :func:`evaluate_partition_on_topology` with the full breakdown.
 
@@ -1424,6 +1566,15 @@ def evaluate_partition_details(
     same float expressions, so their results are bitwise identical
     (asserted by ``tests/test_partition_evaluator_equiv.py``).
 
+    ``bucket_bytes`` switches a replicated stage's sync pricing from the
+    legacy single-payload model to the bucketed wait-free walk of
+    :func:`_evaluate_details_bucketed` (gradients fused into buckets of at
+    most ``bucket_bytes``, each collective firing as its layers' backward
+    completes).  ``None`` (default) leaves the legacy code paths — and
+    therefore every pre-bucketing result — untouched.  The bucketed walk
+    is one shared scalar routine consumed by both ``vectorize`` settings,
+    so the twins remain bitwise identical by construction.
+
     The per-stage memory column is integer arithmetic shared by both
     paths; ``memory_limit_bytes`` is echoed into the result for
     :attr:`PartitionEvaluation.fits_memory`.
@@ -1433,7 +1584,11 @@ def evaluate_partition_details(
     from repro.sim.memory import pipeline_memory_footprint
 
     tables = _eval_tables(profile)
-    if vectorize and np is not None:
+    if bucket_bytes is not None:
+        result = _evaluate_details_bucketed(
+            profile, tables, stages, topology, bucket_bytes
+        )
+    elif vectorize and np is not None:
         result = _evaluate_details_vectorized(tables, stages, topology)
     else:
         result = _evaluate_details_scalar(tables, stages, topology)
@@ -1449,6 +1604,7 @@ def evaluate_partition_on_topology(
     stages: Sequence[Stage],
     topology: Topology,
     vectorize: bool = True,
+    bucket_bytes: Optional[float] = None,
 ) -> float:
     """Bottleneck time per minibatch of a stage list on a real topology.
 
@@ -1459,11 +1615,12 @@ def evaluate_partition_on_topology(
     BPTT portion charged additively); stage boundaries pay a point-to-point
     transfer at the bandwidth of the link between adjacent groups.
 
-    ``vectorize`` selects the numpy fast path or its scalar reference twin
-    (see :func:`evaluate_partition_details`).
+    ``vectorize`` selects the numpy fast path or its scalar reference twin;
+    ``bucket_bytes`` opts into the bucketed wait-free sync model (see
+    :func:`evaluate_partition_details`).
     """
     return evaluate_partition_details(
-        profile, stages, topology, vectorize=vectorize
+        profile, stages, topology, vectorize=vectorize, bucket_bytes=bucket_bytes
     ).bottleneck_time
 
 
@@ -1484,24 +1641,36 @@ def _evaluate_details_scalar(
         next_worker += stage.replicas
     stage_times: List[float] = []
     boundary_times: List[float] = []
+    sync_exposed: List[float] = []
+    sync_hidden: List[float] = []
     for idx, stage in enumerate(stages):
         r = stage.replicas
         compute = (pt[stage.stop] - pt[stage.start]) / scale
         cost = compute / r
+        exposed = hidden = 0.0
         if r > 1:
             weights = pw[stage.stop] - pw[stage.start]
             deferred = pr[stage.stop] - pr[stage.start]
             stream = allreduce_time(placement, groups[idx], weights - deferred)
             blocked = allreduce_time(placement, groups[idx], deferred)
             cost = max(cost, stream / r) + blocked / r
+            # Critical-path share of the sync: whatever the round costs
+            # beyond its amortized compute; the rest hid under the max().
+            exposed = cost - compute / r
+            hidden = stream / r + blocked / r - exposed
         stage_times.append(cost)
+        sync_exposed.append(exposed)
+        sync_hidden.append(hidden)
         if idx + 1 < len(stages):
             src = groups[idx][-1]
             dst = groups[idx + 1][0]
             bandwidth = placement.link_bandwidth(src, dst)
             boundary_times.append(2.0 * acts[stage.stop - 1] / bandwidth)
     worst = max(max(stage_times), max(boundary_times, default=0.0))
-    return PartitionEvaluation(worst, tuple(stage_times), tuple(boundary_times))
+    return PartitionEvaluation(
+        worst, tuple(stage_times), tuple(boundary_times),
+        sync_exposed=tuple(sync_exposed), sync_hidden=tuple(sync_hidden),
+    )
 
 
 def _evaluate_details_vectorized(
@@ -1527,30 +1696,55 @@ def _evaluate_details_vectorized(
 
     compute = (tables.np_time[stops] - tables.np_time[starts]) / scale
     cost = compute / reps
+    exposed = np.zeros(S)
+    hidden = np.zeros(S)
     if bool((reps > 1).any()):
         weights = tables.np_weights[stops] - tables.np_weights[starts]
         deferred = tables.np_recurrent[stops] - tables.np_recurrent[starts]
         gfirst = np.cumsum(reps) - reps
         glast = gfirst + reps - 1
-        # Per-level component spans of each contiguous group.
-        spans = []
-        per_component = 1
-        for level in levels:
-            spans.append(glast // per_component - gfirst // per_component + 1)
-            per_component *= level.count
         stream = np.zeros(S)
         blocked = np.zeros(S)
-        prev_span = reps
+        per_component = 1
         for k, level in enumerate(levels):
-            span_above = spans[k + 1] if k + 1 < len(spans) else np.ones(S, dtype=np.int64)
-            group = np.maximum(1, np.round(prev_span / np.maximum(1, span_above)))
+            count_k = level.count
+            u_first = gfirst // per_component
+            u_last = glast // per_component
+            p_first = u_first // count_k
+            p_last = u_last // count_k
+            # Largest per-parent sibling group of the contiguous range
+            # (the closed form of Placement.ring_sizes): one parent → the
+            # whole span; a parent strictly inside the range is full;
+            # otherwise the larger of the two edge fragments.
+            group = np.where(
+                p_first == p_last,
+                u_last - u_first + 1,
+                np.where(
+                    p_last - p_first >= 2,
+                    count_k,
+                    np.maximum((p_first + 1) * count_k - u_first,
+                               u_last - p_last * count_k + 1),
+                ),
+            )
             ring = 2.0 * (group - 1) / group
             arbw = level.allreduce_bandwidth
             stream = stream + ring * (weights - deferred) / arbw
             blocked = blocked + ring * deferred / arbw
-            prev_span = span_above
+            alpha = level.allreduce_latency
+            if alpha > 0.0:
+                # Per-collective setup cost: paid once per level a ring
+                # actually runs on, only when there is a payload (mirrors
+                # allreduce_time's early return on num_bytes <= 0).
+                lat = np.where(group > 1, alpha, 0.0)
+                stream = stream + np.where(weights - deferred > 0, lat, 0.0)
+                blocked = blocked + np.where(deferred > 0, lat, 0.0)
+            per_component *= count_k
         cost = np.where(
             reps > 1, np.maximum(cost, stream / reps) + blocked / reps, cost
+        )
+        exposed = np.where(reps > 1, cost - compute / reps, 0.0)
+        hidden = np.where(
+            reps > 1, stream / reps + blocked / reps - exposed, 0.0
         )
     stage_times = tuple(cost.tolist())
 
@@ -1571,7 +1765,118 @@ def _evaluate_details_vectorized(
         worst = max(max(stage_times), max(boundary_times))
     else:
         worst = max(stage_times)
-    return PartitionEvaluation(worst, stage_times, boundary_times)
+    return PartitionEvaluation(
+        worst, stage_times, boundary_times,
+        sync_exposed=tuple(exposed.tolist()),
+        sync_hidden=tuple(hidden.tolist()),
+    )
+
+
+def _bucketed_stage_sync(
+    placement, group, buckets, deferred_bytes, compute, backward_total
+):
+    """Wait-free bucketed sync walk for one replicated stage's round.
+
+    A round of the stage runs one minibatch per replica: ``compute``
+    seconds of forward+backward, the backward portion ``backward_total``
+    at the tail.  Each stream bucket's collective fires as soon as its
+    last gradient exists (``ready_fraction`` of the backward elapsed) and
+    the per-stage sync channel is free; buckets serialize on that channel
+    in firing order.  The BPTT-deferred payload only exists once backward
+    ends, so it is priced strictly after both the compute and the last
+    stream bucket — the reason deferred kinds stay fully exposed no
+    matter the bucket size.
+
+    Returns ``(round_time, exposed, total_sync)`` in seconds per round:
+    the round's wall-clock, the sync share extending it past its compute,
+    and the summed duration of every collective (each priced through
+    :func:`repro.sim.network.allreduce_time`, so per-bucket latency α and
+    the hierarchical ring terms are included).  This single scalar routine
+    serves both evaluator twins and mirrors the event engine's
+    ``_execute_update`` walk with all round members collapsed onto one
+    canonical timeline.
+    """
+    from repro.sim.network import allreduce_time
+
+    forward = compute - backward_total
+    t = 0.0
+    total = 0.0
+    for bucket in buckets:
+        ready = forward + bucket.ready_fraction * backward_total
+        dur = allreduce_time(placement, group, bucket.payload_bytes)
+        t = (ready if ready > t else t) + dur
+        total += dur
+    blocked = allreduce_time(placement, group, deferred_bytes)
+    round_time = (t if t > compute else compute) + blocked
+    return round_time, round_time - compute, total + blocked
+
+
+def _evaluate_details_bucketed(
+    profile: ModelProfile,
+    tables: _EvalTables,
+    stages: Sequence[Stage],
+    topology: Topology,
+    bucket_bytes: float,
+) -> PartitionEvaluation:
+    """Bucketed wait-free pricing (one path for both ``vectorize`` modes).
+
+    Identical to :func:`_evaluate_details_scalar` except that a
+    replicated stage's sync is the per-bucket walk of
+    :func:`_bucketed_stage_sync` instead of the legacy
+    ``max(compute, stream) + blocked`` single-payload model.  Buckets are
+    ragged per stage, so there is nothing to vectorize; routing both
+    twins through this one routine keeps them bitwise identical by
+    construction.
+    """
+    from repro.comm.bucketing import gradient_buckets
+    from repro.sim.network import Placement
+
+    placement = Placement(topology)
+    scale = topology.compute_scale
+    pt, pw, pr = tables.prefix_time, tables.prefix_weights, tables.prefix_recurrent
+    pb = tables.prefix_backward
+    acts = tables.acts
+    next_worker = 0
+    groups = []
+    for stage in stages:
+        groups.append(list(range(next_worker, next_worker + stage.replicas)))
+        next_worker += stage.replicas
+    stage_times: List[float] = []
+    boundary_times: List[float] = []
+    sync_exposed: List[float] = []
+    sync_hidden: List[float] = []
+    for idx, stage in enumerate(stages):
+        r = stage.replicas
+        compute = (pt[stage.stop] - pt[stage.start]) / scale
+        cost = compute / r
+        exposed = hidden = 0.0
+        if r > 1:
+            deferred = pr[stage.stop] - pr[stage.start]
+            backward_total = (pb[stage.stop] - pb[stage.start]) / scale
+            buckets = gradient_buckets(
+                profile, stage.start, stage.stop, bucket_bytes
+            )
+            round_time, round_exposed, total_sync = _bucketed_stage_sync(
+                placement, groups[idx], buckets, deferred, compute,
+                backward_total,
+            )
+            cost = round_time / r
+            exposed = round_exposed / r
+            hidden = (total_sync - round_exposed) / r
+        stage_times.append(cost)
+        sync_exposed.append(exposed)
+        sync_hidden.append(hidden)
+        if idx + 1 < len(stages):
+            src = groups[idx][-1]
+            dst = groups[idx + 1][0]
+            bandwidth = placement.link_bandwidth(src, dst)
+            boundary_times.append(2.0 * acts[stage.stop - 1] / bandwidth)
+    worst = max(max(stage_times), max(boundary_times, default=0.0))
+    return PartitionEvaluation(
+        worst, tuple(stage_times), tuple(boundary_times),
+        sync_exposed=tuple(sync_exposed), sync_hidden=tuple(sync_hidden),
+        bucket_bytes=float(bucket_bytes),
+    )
 
 
 # ----------------------------------------------------------------------

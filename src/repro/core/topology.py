@@ -27,11 +27,20 @@ class TopologyLevel:
     (the paper's Figure 1 / Table 3 measurements embed exactly this gap).
     The default cluster values below are calibrated so the simulated DP
     communication overheads match Figure 1's measured shapes.
+
+    ``allreduce_latency`` is the fixed per-collective setup cost (seconds)
+    a ring on this level pays regardless of payload size — the α in the
+    α + bytes/BW pricing that makes gradient *bucketing* a real tradeoff:
+    many small buckets overlap better with backward compute but each pays
+    α again, one giant bucket pays α once but cannot start until the last
+    gradient exists.  The default 0.0 keeps every pre-bucketing cost
+    bitwise unchanged.
     """
 
     count: int
     bandwidth: float  # bytes per second
     allreduce_efficiency: float = 1.0
+    allreduce_latency: float = 0.0  # seconds per collective at this level
 
     def __post_init__(self):
         if self.count < 1:
@@ -40,6 +49,8 @@ class TopologyLevel:
             raise ValueError("bandwidth must be positive")
         if not 0 < self.allreduce_efficiency <= 1:
             raise ValueError("allreduce_efficiency must be in (0, 1]")
+        if self.allreduce_latency < 0:
+            raise ValueError("allreduce_latency must be >= 0")
 
     @property
     def allreduce_bandwidth(self) -> float:
@@ -98,7 +109,8 @@ class Topology:
         return Topology(
             f"{self.name}-flat",
             [TopologyLevel(self.total_workers, slowest.bandwidth,
-                           slowest.allreduce_efficiency)],
+                           slowest.allreduce_efficiency,
+                           slowest.allreduce_latency)],
             compute_scale=self.compute_scale,
         )
 
@@ -117,7 +129,8 @@ class Topology:
         for level in self.levels:
             take = min(level.count, remaining)
             levels.append(TopologyLevel(take, level.bandwidth,
-                                        level.allreduce_efficiency))
+                                        level.allreduce_efficiency,
+                                        level.allreduce_latency))
             remaining = -(-remaining // take)  # ceil div: components still needed
         packed = 1
         for level in levels:
@@ -147,13 +160,17 @@ def make_cluster(
     compute_scale: float = 1.0,
     intra_allreduce_efficiency: float = 1.0,
     inter_allreduce_efficiency: float = 1.0,
+    intra_allreduce_latency: float = 0.0,
+    inter_allreduce_latency: float = 0.0,
 ) -> Topology:
     """Build a standard two-level server/cluster topology."""
     levels = [TopologyLevel(gpus_per_server, intra_bandwidth,
-                            intra_allreduce_efficiency)]
+                            intra_allreduce_efficiency,
+                            intra_allreduce_latency)]
     if num_servers > 1:
         levels.append(TopologyLevel(num_servers, inter_bandwidth,
-                                    inter_allreduce_efficiency))
+                                    inter_allreduce_efficiency,
+                                    inter_allreduce_latency))
     return Topology(name, levels, compute_scale=compute_scale)
 
 

@@ -62,6 +62,7 @@ _PLAN_KEYS = frozenset({
     "model", "profile", "device", "precision",
     "cluster", "servers", "topology", "num_workers",
     "memory_limit_bytes", "allow_replication", "memory_refine", "vectorize",
+    "bucket_bytes",
 })
 _SIMULATE_KEYS = _PLAN_KEYS | {"strategy", "minibatches", "engine"}
 
@@ -80,6 +81,7 @@ def topology_to_dict(topology: Topology) -> Dict[str, Any]:
                 "count": lv.count,
                 "bandwidth": lv.bandwidth,
                 "allreduce_efficiency": lv.allreduce_efficiency,
+                "allreduce_latency": lv.allreduce_latency,
             }
             for lv in topology.levels
         ],
@@ -92,6 +94,7 @@ def topology_from_dict(data: Dict[str, Any]) -> Topology:
             int(lv["count"]),
             float(lv["bandwidth"]),
             float(lv.get("allreduce_efficiency", 1.0)),
+            float(lv.get("allreduce_latency", 0.0)),
         )
         for lv in data["levels"]
     ]
@@ -107,7 +110,8 @@ def _topology_signature(topology: Topology) -> tuple:
     return (
         topology.compute_scale,
         tuple(
-            (lv.count, lv.bandwidth, lv.allreduce_efficiency)
+            (lv.count, lv.bandwidth, lv.allreduce_efficiency,
+             lv.allreduce_latency)
             for lv in topology.levels
         ),
     )
@@ -129,6 +133,7 @@ class NormalizedQuery:
     allow_replication: bool
     memory_refine: bool
     vectorize: bool
+    bucket_bytes: Optional[float]
     key: tuple
 
 
@@ -208,6 +213,11 @@ def normalize_plan_request(
     allow_replication = bool(request.get("allow_replication", True))
     memory_refine = bool(request.get("memory_refine", True))
     vectorize = bool(request.get("vectorize", True))
+    bucket_bytes = request.get("bucket_bytes")
+    if bucket_bytes is not None:
+        bucket_bytes = float(bucket_bytes)
+        if bucket_bytes <= 0:
+            raise RequestError("bucket_bytes must be positive")
 
     # The canonical identity of the query.  The profile digest already
     # encodes precision (element width changes the serialized bytes); the
@@ -221,6 +231,7 @@ def normalize_plan_request(
         allow_replication,
         memory_refine,
         vectorize,
+        bucket_bytes,
     )
     return NormalizedQuery(
         profile=profile,
@@ -230,6 +241,7 @@ def normalize_plan_request(
         allow_replication=allow_replication,
         memory_refine=memory_refine,
         vectorize=vectorize,
+        bucket_bytes=bucket_bytes,
         key=key,
     )
 
@@ -285,6 +297,7 @@ class PlannerService:
             memory_limit_bytes=query.memory_limit_bytes,
             vectorize=query.vectorize,
             memory_refine=query.memory_refine,
+            bucket_bytes=query.bucket_bytes,
             context=self._context_for(query.profile),
         )
 
@@ -351,19 +364,22 @@ class PlannerService:
             result = simulate_pipedream(
                 profile, topology, num_minibatches=minibatches,
                 engine=engine, optimizer=self._optimizer(query),
+                bucket_bytes=query.bucket_bytes,
             )
         elif strategy == "dp":
             result = simulate_data_parallel(
-                profile, topology, num_minibatches=minibatches, engine=engine
+                profile, topology, num_minibatches=minibatches, engine=engine,
+                bucket_bytes=query.bucket_bytes,
             )
         elif strategy == "mp":
             result = simulate_model_parallel(
-                profile, topology, num_minibatches=minibatches, engine=engine
+                profile, topology, num_minibatches=minibatches, engine=engine,
+                bucket_bytes=query.bucket_bytes,
             )
         elif strategy == "gpipe":
             result = simulate_gpipe(
                 profile, topology, num_batches=max(2, minibatches // 4),
-                engine=engine,
+                engine=engine, bucket_bytes=query.bucket_bytes,
             )
         else:
             raise RequestError(
@@ -393,8 +409,8 @@ class PlannerService:
         self._count("sweep")
         allowed = {
             "models", "cluster", "servers", "topology", "counts",
-            "strategies", "precisions", "device", "minibatches", "engine",
-            "executor", "workers",
+            "strategies", "precisions", "bucket_sizes", "device",
+            "minibatches", "engine", "executor", "workers",
         }
         unknown = set(request) - allowed
         if unknown:
@@ -427,6 +443,10 @@ class PlannerService:
                 workers=int(request.get("workers", 1)),
                 executor=request.get("executor", "auto"),
                 precisions=tuple(request.get("precisions", ("fp32",))),
+                bucket_sizes=tuple(
+                    None if cap is None else float(cap)
+                    for cap in request.get("bucket_sizes", (None,))
+                ),
                 contexts=self.contexts if self.warm_start else None,
             )
         except (KeyError, ValueError) as exc:

@@ -69,12 +69,24 @@ class SimOptions:
     #: leaves every engine code path — and hence the timeline — bitwise
     #: identical to a fault-free run.
     faults: Optional[FaultSchedule] = None
+    #: Gradient-fusion granularity.  ``None`` (default) keeps the legacy
+    #: single-payload sync model and every pre-bucketing timeline bitwise
+    #: intact.  A positive value fuses each replicated stage's streamable
+    #: gradients into buckets of at most this many bytes
+    #: (:mod:`repro.comm.bucketing`) and replaces the round's one UPDATE
+    #: collective with per-bucket collectives, each firing as soon as
+    #: every round member's backward has produced the bucket's last
+    #: gradient — wait-free backprop at bucket granularity.  The
+    #: BPTT-deferred payload stays one post-backward collective.
+    bucket_bytes: Optional[float] = None
 
     def __post_init__(self):
         if self.sync_mode not in ("pipedream", "bsp", "gpipe"):
             raise ValueError(f"unknown sync mode {self.sync_mode!r}")
         if self.faults is not None and not isinstance(self.faults, FaultSchedule):
             raise TypeError("faults must be a FaultSchedule or None")
+        if self.bucket_bytes is not None and self.bucket_bytes <= 0:
+            raise ValueError("bucket_bytes must be positive")
         if self.worker_speed is not None:
             for worker, speed in self.worker_speed.items():
                 if speed <= 0:
@@ -116,6 +128,13 @@ class SimResult:
     #: ran to completion.  When set, the timeline holds only the ops that
     #: started strictly before this time.
     halted_at: Optional[float] = None
+    #: Per-stage seconds of weight synchronization on the critical path:
+    #: how far each round's commit ran past its last backward (or, for
+    #: single-member commits, past the committing worker's backward).
+    #: ``sync_busy[s] - sync_exposed[s]`` is the share hidden under
+    #: compute by wait-free overlap.  Stages that never pay sync are
+    #: absent.
+    sync_exposed: Dict[int, float] = field(default_factory=dict)
     _records: Optional[List[OpRecord]] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -204,6 +223,7 @@ class _SimCore:
         "round_backwards", "minibatch_done", "records", "compute_time",
         "fired", "bumped", "nk", "AB_OFF", "FE_OFF", "UD_OFF", "_bw_cache",
         "faults", "halt_time", "halted", "_lvl_cache",
+        "bucket_durs", "bucket_fracs", "sync_exposed",
     )
 
     def __init__(
@@ -259,6 +279,35 @@ class _SimCore:
             sync_stream.append(allreduce_time(self.placement, workers, stream_bytes))
             sync_deferred.append(allreduce_time(self.placement, workers, deferred_bytes))
             sync_duration.append(sync_stream[-1] + sync_deferred[-1])
+        # Gradient bucketing: pre-price every bucket's collective per stage
+        # (same fused spans as the analytic evaluator, from the one shared
+        # bucket former).  The stream payload then costs the *sum* of its
+        # bucket collectives — each paying the topology's per-collective
+        # setup latency again — and the round commit walks them in firing
+        # order instead of pricing one monolithic payload.  ``None`` skips
+        # all of this and leaves every duration bitwise unchanged.
+        bucket_durs: Optional[List[List[float]]] = None
+        bucket_fracs: Optional[List[List[float]]] = None
+        if options.bucket_bytes is not None:
+            from repro.comm.bucketing import gradient_buckets
+
+            bucket_durs = []
+            bucket_fracs = []
+            for s, stage in enumerate(stages):
+                workers = schedule.stage_workers[s]
+                buckets = gradient_buckets(
+                    profile, stage.start, stage.stop, options.bucket_bytes
+                )
+                durs = [
+                    allreduce_time(self.placement, workers, bk.payload_bytes)
+                    for bk in buckets
+                ]
+                bucket_durs.append(durs)
+                bucket_fracs.append([bk.ready_fraction for bk in buckets])
+                sync_stream[s] = sum(durs)
+                sync_duration[s] = sync_stream[s] + sync_deferred[s]
+        self.bucket_durs = bucket_durs
+        self.bucket_fracs = bucket_fracs
         self.sync_duration = sync_duration
         self.sync_stream = sync_stream
         self.sync_deferred = sync_deferred
@@ -311,6 +360,7 @@ class _SimCore:
         self.nic_recv_free: Dict[int, float] = defaultdict(float)
         self.sync_free = [0.0] * self.S
         self.sync_busy: Dict[int, float] = defaultdict(float)
+        self.sync_exposed: Dict[int, float] = defaultdict(float)
 
         self.arrivals_f: Dict[int, float] = {}
         self.arrivals_b: Dict[int, float] = {}
@@ -583,6 +633,8 @@ class _SimCore:
             done = (start if start >= sync_free else sync_free) + duration
             self.sync_free[s] = done
             self.sync_busy[s] += duration
+            if duration > 0:
+                self.sync_exposed[s] += done - start
             self.update_done[sBr] = done
             self.fired.append(self.UD_OFF + sBr)
             self.worker_free[worker] = start  # async commit; not blocked
@@ -600,16 +652,38 @@ class _SimCore:
         starts = [x[0] for x in backwards]
         ends = [x[1] for x in backwards]
         duration = self.sync_duration[s]
-        if is_bsp:
+        last_end = max(ends)
+        if self.bucket_durs is not None:
+            # Bucketed wait-free backprop: each bucket's collective fires
+            # once every member's backward has produced its last gradient
+            # (the bucket's ready fraction, interpolated on each member's
+            # own backward window) and the stage sync channel is free;
+            # buckets serialize on the channel in firing order.  The
+            # BPTT-deferred payload exists only after every backward ends,
+            # so it runs strictly last.  Applies to BSP and pipedream
+            # rounds alike — with no buckets (pure-deferred stage) both
+            # legacy formulas reduce to this same expression.
+            t = self.sync_free[s]
+            fracs = self.bucket_fracs[s]
+            for i, dur in enumerate(self.bucket_durs[s]):
+                frac = fracs[i]
+                ready = max(st + frac * (en - st) for st, en in backwards)
+                if ready > t:
+                    t = ready
+                t += dur
+            done = (t if t > last_end else last_end) + self.sync_deferred[s]
+        elif is_bsp:
             # Wait-free backprop: streamable gradients overlap the backward
             # pass; BPTT-deferred gradients only start when it ends.
             sync_start = max(max(starts), self.sync_free[s])
-            done = max(max(ends), sync_start + self.sync_stream[s]) + self.sync_deferred[s]
+            done = max(last_end, sync_start + self.sync_stream[s]) + self.sync_deferred[s]
         else:
-            sync_start = max(max(ends), self.sync_free[s])
+            sync_start = max(last_end, self.sync_free[s])
             done = sync_start + duration
         self.sync_free[s] = done
         self.sync_busy[s] += duration
+        if duration > 0:
+            self.sync_exposed[s] += done - last_end
         self.update_done[sBr] = done
         self.fired.append(self.UD_OFF + sBr)
         if is_bsp:
@@ -826,6 +900,7 @@ class _SimCore:
         sync_duration = self.sync_duration
         sync_free = self.sync_free
         sync_busy = self.sync_busy
+        sync_exposed = self.sync_exposed
         # Stages whose UPDATE commit takes the single-member non-BSP fast
         # path unconditionally (straight 1F1B pipelines, GPipe).
         update_simple = [
@@ -975,6 +1050,8 @@ class _SimCore:
                     done = (t if t >= sf else sf) + duration
                     sync_free[s] = done
                     sync_busy[s] += duration
+                    if duration > 0:
+                        sync_exposed[s] += done - t
                     update_done[sBr] = done
                     wake_key = UD_OFF + sBr
                     worker_free[worker] = t
@@ -1108,6 +1185,7 @@ class _SimCore:
             sync_busy=dict(self.sync_busy),
             minibatch_done=self.minibatch_done,
             halted_at=self.halt_time if self.halted else None,
+            sync_exposed=dict(self.sync_exposed),
         )
 
 

@@ -68,6 +68,27 @@ class Placement:
             spans.append(len(parents))
         return spans
 
+    def ring_sizes(self, workers: Sequence[int]) -> List[int]:
+        """Per-level ring size: the *largest* per-parent sibling group.
+
+        At level k the group runs one ring per level-(k+1) parent, over the
+        distinct level-k components that parent contains.  The rings run
+        concurrently, so the level's cost is governed by the largest one —
+        not the mean.  (``round(span_k / span_{k+1})`` mis-priced uneven
+        packings: 3 workers under 2 hosts is a 2-ring plus a singleton,
+        which the rounded mean 1.5 → 2 happened to get right, but e.g. 5
+        workers under 4-per-host is a 4-ring plus a singleton and the mean
+        round(5/2) = 2 under-priced it.)
+        """
+        coords = [self.coordinates(w) for w in workers]
+        sizes = []
+        for k in range(self.topology.num_levels):
+            children: dict = {}
+            for c in coords:
+                children.setdefault(c[k + 1:], set()).add(c[k:])
+            sizes.append(max(len(members) for members in children.values()))
+        return sizes
+
 
 def transfer_time(placement: Placement, src: int, dst: int, num_bytes: float) -> float:
     """Serialized time to move ``num_bytes`` from ``src`` to ``dst``."""
@@ -81,22 +102,24 @@ def allreduce_time(placement: Placement, workers: Sequence[int], num_bytes: floa
 
     At each level the group spans, every participant moves
     ``2 (g - 1)/g * num_bytes`` over that level's links, where ``g`` is the
-    number of sibling components at that level; levels proceed sequentially
-    (reduce-scatter inward, all-gather outward), so the times add.  Each
-    level runs at its *all_reduce* bandwidth — the calibrated fraction of
-    line rate collectives actually achieve (see
-    :class:`~repro.core.topology.TopologyLevel`).
+    *largest* per-parent sibling group at that level (see
+    :meth:`Placement.ring_sizes` — the concurrent per-parent rings finish
+    with the biggest one); levels proceed sequentially (reduce-scatter
+    inward, all-gather outward), so the times add.  Each level runs at its
+    *all_reduce* bandwidth — the calibrated fraction of line rate
+    collectives actually achieve (see
+    :class:`~repro.core.topology.TopologyLevel`) — and each level a ring
+    actually runs on adds its fixed ``allreduce_latency`` α, so splitting a
+    payload into many buckets pays α per bucket.
     """
     if len(workers) <= 1 or num_bytes <= 0:
         return 0.0
     total = 0.0
-    spans = placement.group_span(workers)
-    previous_span = len(workers)
+    sizes = placement.ring_sizes(workers)
     for k, level in enumerate(placement.topology.levels):
-        span_above = spans[k + 1] if k + 1 < len(spans) else 1
-        # Ring size at this level = participants per parent component.
-        group = max(1, round(previous_span / max(1, span_above)))
+        group = sizes[k]
         if group > 1:
             total += 2.0 * (group - 1) / group * num_bytes / level.allreduce_bandwidth
-        previous_span = span_above
+            if level.allreduce_latency > 0.0:
+                total += level.allreduce_latency
     return total

@@ -116,6 +116,7 @@ def simulate_data_parallel(
     engine: str = "event",
     precision: Optional[str] = None,
     faults: Optional[FaultSchedule] = None,
+    bucket_bytes: Optional[float] = None,
 ) -> StrategyResult:
     """BSP data parallelism with wait-free backprop (§2.1).
 
@@ -127,7 +128,8 @@ def simulate_data_parallel(
     workers = topology.total_workers
     schedule = data_parallel_schedule(workers, num_minibatches, num_layers=len(profile))
     sim = simulate(schedule, profile, topology,
-                   SimOptions(sync_mode="bsp", faults=faults),
+                   SimOptions(sync_mode="bsp", faults=faults,
+                              bucket_bytes=bucket_bytes),
                    engine=engine)
     # One simulated iteration = one minibatch per worker, so the run covers
     # ``num_minibatches * workers`` actual minibatches.
@@ -158,6 +160,7 @@ def simulate_model_parallel(
     engine: str = "event",
     precision: Optional[str] = None,
     faults: Optional[FaultSchedule] = None,
+    bucket_bytes: Optional[float] = None,
 ) -> StrategyResult:
     """Vanilla model parallelism (Figure 2): no pipelining, one in flight."""
     profile = resolve_precision(profile, precision)
@@ -167,7 +170,8 @@ def simulate_model_parallel(
         len(stages), num_minibatches, layer_bounds=[(s.start, s.stop) for s in stages]
     )
     sim = simulate(schedule, profile, topology,
-                   SimOptions(sync_mode="pipedream", faults=faults),
+                   SimOptions(sync_mode="pipedream", faults=faults,
+                              bucket_bytes=bucket_bytes),
                    engine=engine)
     samples = num_minibatches * profile.batch_size
     total_bytes = communication_bytes_per_minibatch(profile, list(stages)) * num_minibatches
@@ -196,6 +200,7 @@ def simulate_gpipe(
     engine: str = "event",
     precision: Optional[str] = None,
     faults: Optional[FaultSchedule] = None,
+    bucket_bytes: Optional[float] = None,
 ) -> StrategyResult:
     """GPipe-style inter-batch pipelining with flushes (§2.2, Figure 3).
 
@@ -219,6 +224,7 @@ def simulate_gpipe(
         recompute_activations=recompute,
         microbatches_per_batch=num_microbatches,
         faults=faults,
+        bucket_bytes=bucket_bytes,
     )
     sim = simulate(schedule, micro_profile, topology, options, engine=engine)
     samples = num_batches * profile.batch_size
@@ -254,12 +260,14 @@ def simulate_partition(
     strategy_name: str = "pipedream",
     engine: str = "event",
     faults: Optional[FaultSchedule] = None,
+    bucket_bytes: Optional[float] = None,
 ) -> StrategyResult:
     """Simulate an explicit PipeDream partition with the 1F1B-RR schedule."""
     stages = list(stages)
     schedule = one_f_one_b_rr_schedule(stages, num_minibatches, noam=noam)
     sim = simulate(schedule, profile, topology,
-                   SimOptions(sync_mode="pipedream", faults=faults),
+                   SimOptions(sync_mode="pipedream", faults=faults,
+                              bucket_bytes=bucket_bytes),
                    engine=engine)
     samples = num_minibatches * profile.batch_size
     total_bytes = communication_bytes_per_minibatch(profile, stages) * num_minibatches
@@ -293,6 +301,7 @@ def simulate_pipedream(
     engine: str = "event",
     precision: Optional[str] = None,
     faults: Optional[FaultSchedule] = None,
+    bucket_bytes: Optional[float] = None,
 ) -> StrategyResult:
     """Run the optimizer, then simulate its chosen configuration.
 
@@ -315,14 +324,16 @@ def simulate_pipedream(
     profile = converted
     if optimizer is None:
         optimizer = PipeDreamOptimizer(
-            profile, topology, allow_replication=allow_replication
+            profile, topology, allow_replication=allow_replication,
+            bucket_bytes=bucket_bytes,
         )
         plan = optimizer.solve()
     else:
         plan = optimizer.solve(topology.total_workers)
     if plan.is_data_parallel:
         result = simulate_data_parallel(profile, topology, num_minibatches,
-                                        engine=engine, faults=faults)
+                                        engine=engine, faults=faults,
+                                        bucket_bytes=bucket_bytes)
         return StrategyResult(
             strategy="pipedream",
             config=result.config,
@@ -337,7 +348,8 @@ def simulate_pipedream(
             stages=result.stages,
         )
     return simulate_partition(profile, topology, plan.stages, num_minibatches,
-                              plan.noam, engine=engine, faults=faults)
+                              plan.noam, engine=engine, faults=faults,
+                              bucket_bytes=bucket_bytes)
 
 
 # ----------------------------------------------------------------------

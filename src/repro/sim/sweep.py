@@ -89,6 +89,9 @@ class SweepRecord:
     stage_memory_bytes: Tuple[int, ...] = ()
     precision: str = "fp32"
     allreduce_seconds: float = 0.0
+    #: Gradient-fusion cap the cell planned and simulated with (``None`` =
+    #: one monolithic per-round payload, the pre-bucketing behaviour).
+    bucket_bytes: Optional[float] = None
     #: Recovery columns, filled only for rows produced by the elastic
     #: control loop (``repro.runtime.elastic``); zero for ordinary cells.
     detection_latency: float = 0.0
@@ -98,15 +101,19 @@ class SweepRecord:
 
 @dataclass(frozen=True)
 class SweepFailure:
-    """One (model, strategy, precision) cell that raised during the sweep."""
+    """One (model, strategy, precision, bucket) cell that raised during the sweep."""
 
     model: str
     strategy: str
     error: str
     precision: str = "fp32"
+    bucket_bytes: Optional[float] = None
 
     def __str__(self) -> str:
-        return f"({self.model}, {self.strategy}, {self.precision}): {self.error}"
+        if self.bucket_bytes is None:
+            return f"({self.model}, {self.strategy}, {self.precision}): {self.error}"
+        return (f"({self.model}, {self.strategy}, {self.precision}, "
+                f"bucket={self.bucket_bytes}): {self.error}")
 
 
 class SweepError(RuntimeError):
@@ -176,6 +183,7 @@ def _run_cell(
     model: str,
     strategy: str,
     precision: str,
+    bucket_bytes: Optional[float],
     topology: Topology,
     worker_counts: Sequence[int],
     device: str,
@@ -212,6 +220,7 @@ def _run_cell(
     optimizer = (
         PipeDreamOptimizer(
             profile, topology, vectorize=vectorize,
+            bucket_bytes=bucket_bytes,
             context=None if contexts is None else contexts.get(profile),
         )
         if strategy == "pipedream" else None
@@ -223,7 +232,7 @@ def _run_cell(
         except ValueError:
             out.append(None)
             continue
-        kwargs = {"engine": engine}
+        kwargs = {"engine": engine, "bucket_bytes": bucket_bytes}
         if optimizer is not None:
             kwargs["optimizer"] = optimizer
         result: StrategyResult = STRATEGIES[strategy](
@@ -233,7 +242,8 @@ def _run_cell(
         # scalar-baseline sweeps stay bitwise-reproducible) and the §3.3
         # per-stage footprint.
         details = evaluate_partition_details(
-            profile, result.stages, sub, vectorize=vectorize
+            profile, result.stages, sub, vectorize=vectorize,
+            bucket_bytes=bucket_bytes,
         )
         stage_memory = pipeline_memory_footprint(profile, result.stages)
         out.append(SweepRecord(
@@ -252,6 +262,7 @@ def _run_cell(
             precision=precision,
             allreduce_seconds=_plan_allreduce_seconds(
                 profile, result.stages, sub),
+            bucket_bytes=bucket_bytes,
         ))
     return out
 
@@ -299,6 +310,7 @@ def run_sweep(
     profile_cache: bool = True,
     on_error: str = "raise",
     precisions: Sequence[str] = ("fp32",),
+    bucket_sizes: Sequence[Optional[float]] = (None,),
     contexts: Optional[SolverContextPool] = None,
 ) -> List[SweepRecord]:
     """Simulate every combination; skips worker counts that don't pack.
@@ -313,6 +325,11 @@ def run_sweep(
             sweep bit for bit; adding ``"fp16"`` doubles the grid with
             cells planned and simulated on half-width profiles — the
             figure-12 comparison.
+        bucket_sizes: gradient-fusion caps to sweep.  The default
+            single-``None`` axis keeps the historical monolithic per-round
+            payload bit for bit; adding byte caps (e.g. ``25e6``) plans and
+            simulates each cell with DDP-style bucketed, backward-overlapped
+            weight synchronization — the overlap comparison.
         executor: ``"process"`` (default) or ``"thread"`` pool for
             ``workers > 1``; ``"serial"`` forces the in-process loop, and
             ``"auto"`` picks: serial for a single task, threads on small
@@ -348,16 +365,20 @@ def run_sweep(
     unknown_precisions = set(precisions) - set(PRECISION_BYTES)
     if unknown_precisions:
         raise ValueError(f"unknown precisions: {sorted(unknown_precisions)}")
+    for cap in bucket_sizes:
+        if cap is not None and cap <= 0:
+            raise ValueError(f"bucket size must be positive or None, got {cap}")
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
     if on_error not in ("raise", "skip"):
         raise ValueError(f"unknown on_error {on_error!r}; expected 'raise' or 'skip'")
     worker_counts = list(worker_counts)
     cells = [
-        (model, strategy, precision)
+        (model, strategy, precision, bucket)
         for model in models
         for strategy in strategies
         for precision in precisions
+        for bucket in bucket_sizes
     ]
 
     resolved = _resolve_executor(
@@ -365,9 +386,9 @@ def run_sweep(
     )
     if workers <= 1 or len(cells) <= 1 or resolved == "serial":
         cell_args = [
-            (model, strategy, precision, topology, worker_counts, device,
-             minibatches, engine, vectorize, profile_cache, contexts)
-            for model, strategy, precision in cells
+            (model, strategy, precision, bucket, topology, worker_counts,
+             device, minibatches, engine, vectorize, profile_cache, contexts)
+            for model, strategy, precision, bucket in cells
         ]
         outcomes = [_run_cell_guarded(args) for args in cell_args]
     else:
@@ -387,10 +408,10 @@ def run_sweep(
             subtask_contexts = contexts or SolverContextPool()
         subtasks = [
             (cell_index, count_index,
-             (model, strategy, precision, topology, [count], device,
+             (model, strategy, precision, bucket, topology, [count], device,
               minibatches, engine, vectorize, profile_cache,
               subtask_contexts))
-            for cell_index, (model, strategy, precision) in enumerate(cells)
+            for cell_index, (model, strategy, precision, bucket) in enumerate(cells)
             for count_index, count in enumerate(worker_counts)
         ]
         subtasks.sort(key=lambda task: -worker_counts[task[1]])
@@ -420,24 +441,29 @@ def run_sweep(
             for index in range(len(cells))
         ]
 
-    by_cell: Dict[Tuple[str, str, str], List[Optional[SweepRecord]]] = {}
+    by_cell: Dict[Tuple[str, str, str, Optional[float]],
+                  List[Optional[SweepRecord]]] = {}
     failures: List[SweepFailure] = []
-    for (model, strategy, precision), (cell_records, error) in zip(cells, outcomes):
+    for (model, strategy, precision, bucket), (cell_records, error) in zip(
+        cells, outcomes
+    ):
         if error is not None:
-            failures.append(SweepFailure(model, strategy, error, precision))
+            failures.append(
+                SweepFailure(model, strategy, error, precision, bucket))
             cell_records = [None] * len(worker_counts)
-        by_cell[(model, strategy, precision)] = cell_records
+        by_cell[(model, strategy, precision, bucket)] = cell_records
 
     # Serial iteration order: model-major, then worker count, then
-    # strategy, then precision.
+    # strategy, then precision, then bucket size.
     records: List[SweepRecord] = []
     for model in models:
         for idx in range(len(worker_counts)):
             for strategy in strategies:
                 for precision in precisions:
-                    record = by_cell[(model, strategy, precision)][idx]
-                    if record is not None:
-                        records.append(record)
+                    for bucket in bucket_sizes:
+                        record = by_cell[(model, strategy, precision, bucket)][idx]
+                        if record is not None:
+                            records.append(record)
 
     if failures and on_error == "raise":
         raise SweepError(failures, records)
