@@ -16,7 +16,11 @@ from repro.core.schedule import data_parallel_schedule, one_f_one_b_rr_schedule
 from repro.core.topology import cluster_a
 from repro.profiler import analytic_profile, clear_profile_cache
 from repro.sim.executor import SimOptions, simulate
-from repro.sim.strategies import balanced_straight_stages, simulate_pipedream
+from repro.sim.strategies import (
+    balanced_straight_stages,
+    simulate_partition,
+    simulate_pipedream,
+)
 from repro.sim.sweep import run_sweep
 
 #: The seven models of the paper's evaluation (§5.1, Table 1/2).
@@ -367,6 +371,78 @@ def full_sweep():
         "speedup_at_least_3x": baseline_seconds >= 3.0 * seconds,
         "identical_to_scalar_baseline": serial == baseline,
         "parallel_identical_to_serial": parallel == serial,
+    }
+
+
+@workload("recompute_2bp_gnmt16")
+def recompute_2bp():
+    """Recompute-aware planning + the 2BP backward split, GNMT-16 @ 16w.
+
+    The pinned feasibility shift: under a 2.2 GB/worker cap the straight
+    GNMT-16 pipeline has *no* stash-everything plan (the worst-case floor
+    is ~2.31 GB), while ``recompute="auto"`` recovers one by
+    checkpointing at least one stage (~2.11 GB floor).  The recovered
+    plan is then simulated under both schedule families: splitting
+    backward into grad-input + grad-weight halves lets drain-phase
+    bubbles soak up the deferred grad-weight work, so total idle time
+    must strictly shrink without changing total work.  The tracked
+    number is the auto solve plus the 2BP simulation.
+    """
+    profile = analytic_profile("gnmt16")
+    topology = cluster_a(4)
+    limit = 2.2e9
+
+    try:
+        PipeDreamOptimizer(
+            profile, topology, memory_limit_bytes=limit,
+            allow_replication=False,
+        ).solve()
+        off_infeasible = False
+    except RuntimeError:
+        off_infeasible = True
+    plan = PipeDreamOptimizer(
+        profile, topology, memory_limit_bytes=limit,
+        allow_replication=False, recompute="auto",
+    ).solve()
+    recompute_stages = sum(1 for s in plan.stages if s.recompute)
+
+    base = simulate_partition(profile, topology, plan.stages,
+                              num_minibatches=32)
+    split = simulate_partition(profile, topology, plan.stages,
+                               num_minibatches=32, schedule_family="2bp")
+
+    def bubble(sim):
+        busy = sim.compute_time_per_worker.values()
+        return sim.total_time * len(busy) - sum(busy)
+
+    bubble_reduction = bubble(base.sim) / bubble(split.sim)
+    work_delta = abs(
+        sum(base.sim.compute_time_per_worker.values())
+        - sum(split.sim.compute_time_per_worker.values())
+    )
+
+    def run():
+        capped = PipeDreamOptimizer(
+            profile, topology, memory_limit_bytes=limit,
+            allow_replication=False, recompute="auto",
+        ).solve()
+        simulate_partition(profile, topology, capped.stages,
+                           num_minibatches=32, schedule_family="2bp")
+
+    seconds = best_of(run)
+    return seconds, {
+        "workers": 16,
+        "memory_limit_gb": limit / 1e9,
+        "config": plan.config_string,
+        "stash_everything_infeasible": off_infeasible,
+        "within_limit": max(plan.memory_bytes) <= limit,
+        "bubble_1f1b": bubble(base.sim),
+        "bubble_2bp": bubble(split.sim),
+        "total_work_conserved": work_delta < 1e-9,
+        "gated_bounds": {
+            "recompute_stage_count": {"value": recompute_stages, "min": 1},
+            "bubble_reduction_2bp": {"value": bubble_reduction, "min": 1.05},
+        },
     }
 
 

@@ -96,9 +96,15 @@ def cmd_plan(args) -> int:
         args.model, device=args.device,
         bytes_per_element=PRECISION_BYTES[args.precision])
     result = PipeDreamOptimizer(
-        profile, topology, bucket_bytes=args.bucket_bytes).solve()
+        profile, topology, bucket_bytes=args.bucket_bytes,
+        memory_limit_bytes=args.memory_limit_bytes,
+        recompute=args.recompute).solve()
     plan = DeploymentPlan.from_partition(result)
     print(plan.describe())
+    if any(s.recompute for s in result.stages):
+        flagged = [str(i) for i, s in enumerate(result.stages) if s.recompute]
+        print(f"recompute (activation checkpointing) on stage(s): "
+              f"{', '.join(flagged)}")
     print(f"config: {result.config_string}   "
           f"bottleneck: {result.slowest_stage_time * 1e3:.2f} ms/minibatch   "
           f"solved in {result.solve_seconds * 1e3:.0f} ms")
@@ -146,10 +152,17 @@ def cmd_simulate(args) -> int:
         print(format_table(["recovery metric", "value"], rows))
         result = report.resumed
     else:
+        if args.schedule_family != "1f1b" and args.strategy != "pipedream":
+            print("--schedule-family 2bp requires --strategy pipedream",
+                  file=sys.stderr)
+            return 2
         drivers = {
             "pipedream": lambda: simulate_pipedream(
                 profile, topology, num_minibatches=args.minibatches,
-                faults=faults, bucket_bytes=args.bucket_bytes),
+                faults=faults, bucket_bytes=args.bucket_bytes,
+                memory_limit_bytes=args.memory_limit_bytes,
+                recompute=args.recompute,
+                schedule_family=args.schedule_family),
             "dp": lambda: simulate_data_parallel(
                 profile, topology,
                 num_minibatches=max(4, args.minibatches // 4), faults=faults,
@@ -188,19 +201,23 @@ def cmd_sweep(args) -> int:
         minibatches=args.minibatches,
         precisions=tuple(args.precisions),
         bucket_sizes=tuple(args.bucket_sizes),
+        recomputes=tuple(args.recomputes),
+        schedule_families=tuple(args.schedule_families),
+        memory_limit_bytes=args.memory_limit_bytes,
     )
     rows = [
         [r.model, str(r.workers), r.strategy, r.precision,
          "-" if r.bucket_bytes is None else f"{r.bucket_bytes / 1e6:g}MB",
-         r.config,
+         r.recompute or "-", r.schedule_family, r.config,
          f"{r.samples_per_second:,.0f}", f"{r.communication_overhead:.1%}",
          f"{r.allreduce_seconds * 1e3:.2f} ms",
          f"{max(r.stage_memory_bytes) / 1e9:.2f} GB"]
         for r in records
     ]
     print(format_table(
-        ["model", "workers", "strategy", "precision", "bucket", "config",
-         "samples/s", "comm", "allreduce/round", "peak stage mem"], rows
+        ["model", "workers", "strategy", "precision", "bucket", "recompute",
+         "schedule", "config", "samples/s", "comm", "allreduce/round",
+         "peak stage mem"], rows
     ))
     if args.csv:
         records_to_csv(records, args.csv)
@@ -267,6 +284,17 @@ def _bucket_size(text: str) -> Optional[float]:
     return float(text)
 
 
+def _recompute_policy(text: str) -> Optional[str]:
+    """Sweep axis value: 'auto', or 'none' for the stash-everything default."""
+    lowered = text.lower()
+    if lowered in ("none", "off"):
+        return None
+    if lowered == "auto":
+        return "auto"
+    raise argparse.ArgumentTypeError(
+        f"expected 'auto' or 'none', got {text!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="PipeDream reproduction toolkit"
@@ -301,6 +329,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="gradient-fusion cap in bytes: plan with DDP-style "
                         "bucketed, backward-overlapped weight sync "
                         "(default: one monolithic per-round payload)")
+    p.add_argument("--memory-limit-bytes", type=float, default=None,
+                   help="per-worker §3.3 memory cap the plan must satisfy")
+    p.add_argument("--recompute", default=None, choices=["auto"],
+                   help="'auto' lets the planner turn activation "
+                        "checkpointing on per stage when the memory cap "
+                        "demands it (requires --memory-limit-bytes)")
     p.add_argument("--json", help="write the deployment plan to this file")
     p.set_defaults(func=cmd_plan)
 
@@ -315,6 +349,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bucket-bytes", type=float, default=None,
                    help="gradient-fusion cap in bytes: simulate with "
                         "bucketed, backward-overlapped weight sync")
+    p.add_argument("--memory-limit-bytes", type=float, default=None,
+                   help="per-worker memory cap for the pipedream planner")
+    p.add_argument("--recompute", default=None, choices=["auto"],
+                   help="let the pipedream planner checkpoint stages under "
+                        "the memory cap")
+    p.add_argument("--schedule-family", default="1f1b",
+                   choices=["1f1b", "2bp"],
+                   help="pipeline schedule family: classic 1F1B or the "
+                        "backward-split 2BP (pipedream strategy only)")
     p.add_argument("--faults", default="",
                    help="fault spec: 'crash@T:wK', 'slow@T:wK:xF:dD', "
                         "'bw@T:xF:dD[:wK][:lL]' (comma-joined), or "
@@ -338,6 +381,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[None], metavar="BYTES|none",
                    help="gradient-fusion caps to sweep ('none' = monolithic "
                         "per-round payload)")
+    p.add_argument("--recomputes", nargs="+", type=_recompute_policy,
+                   default=[None], metavar="auto|none",
+                   help="planner recompute policies to sweep (pipedream "
+                        "cells; 'auto' needs --memory-limit-bytes to bite)")
+    p.add_argument("--schedule-families", nargs="+", default=["1f1b"],
+                   choices=["1f1b", "2bp"],
+                   help="schedule families to sweep (pipedream cells)")
+    p.add_argument("--memory-limit-bytes", type=float, default=None,
+                   help="per-worker memory cap for pipedream cells")
     p.add_argument("--device", default="v100",
                    choices=["v100", "1080ti", "titanx"])
     p.add_argument("--minibatches", type=int, default=48)

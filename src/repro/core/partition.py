@@ -52,11 +52,16 @@ class Stage:
     """A contiguous slice of layers assigned to ``replicas`` workers.
 
     ``start`` is inclusive, ``stop`` exclusive, matching Python slices.
+    ``recompute`` marks a stage that checkpoints: it stashes only its
+    input-boundary activations per in-flight minibatch and rebuilds the
+    interior during backward, trading memory for one extra forward pass
+    (the planner sets this per stage under ``recompute="auto"``).
     """
 
     start: int
     stop: int
     replicas: int
+    recompute: bool = False
 
     def __post_init__(self):
         if self.stop <= self.start:
@@ -307,6 +312,17 @@ class PipeDreamOptimizer:
             planning knob on latency-bearing clusters.  With every level
             at the default ``allreduce_latency=0`` the DP tables are
             bitwise unchanged for any ``bucket_bytes``.
+        recompute: activation-checkpointing policy.  ``None`` (default)
+            never recomputes — every path is bitwise identical to the
+            pre-recompute solver.  ``"auto"`` lets the refined suffix DP
+            decide *per stage*: a stage keeps stash-everything whenever
+            that fits the memory limit (so generous limits are bitwise
+            no-ops), and switches to checkpointing — boundary
+            activations stashed, interior rebuilt in backward, one extra
+            forward added to the stage's compute — only when
+            stash-everything busts the cap and checkpointing fits.
+            Requires ``memory_refine`` (the decision lives in the
+            depth-aware pass); without a memory limit it never triggers.
     """
 
     def __init__(
@@ -319,6 +335,7 @@ class PipeDreamOptimizer:
         memory_refine: bool = True,
         context: Optional[SolverContext] = None,
         bucket_bytes: Optional[float] = None,
+        recompute: Optional[str] = None,
     ):
         self.profile = profile
         self.topology = topology
@@ -326,6 +343,23 @@ class PipeDreamOptimizer:
         self.memory_limit_bytes = memory_limit_bytes
         self.memory_refine = memory_refine
         self.vectorize = vectorize and np is not None
+        if recompute not in (None, "auto"):
+            raise ValueError(
+                f"recompute must be None or 'auto', got {recompute!r}"
+            )
+        if recompute == "auto" and not memory_refine:
+            raise ValueError(
+                "recompute='auto' requires memory_refine: the per-stage "
+                "recompute decision lives in the depth-aware refined DP"
+            )
+        self.recompute = recompute
+        #: The decision is only live when a limit can force it; without a
+        #: cap stash-everything always fits, so normalizing to off keeps
+        #: ``recompute="auto"`` with no limit in the default namespace
+        #: (bitwise-identical tables, shared context entries).
+        self._recompute_auto = (
+            recompute == "auto" and memory_limit_bytes is not None
+        )
         if bucket_bytes is not None and bucket_bytes <= 0:
             raise ValueError("bucket_bytes must be positive")
         self.bucket_bytes = None if bucket_bytes is None else float(bucket_bytes)
@@ -358,6 +392,7 @@ class PipeDreamOptimizer:
             self.vectorize,
             topology.compute_scale,
             self.bucket_bytes,
+            "auto" if self._recompute_auto else None,
         )
         #: level-table memo for the vectorized DP, keyed by the namespace
         #: plus the (count, bandwidth, allreduce_bandwidth) tuple of every
@@ -384,12 +419,14 @@ class PipeDreamOptimizer:
         self._prefix_weights = [0.0]
         self._prefix_recurrent = [0.0]
         self._prefix_acts = [0.0]
+        self._prefix_backward = [0.0]
         for layer in profile:
             self._prefix_time.append(self._prefix_time[-1] + layer.compute_time)
             self._prefix_weights.append(self._prefix_weights[-1] + layer.weight_bytes)
             recurrent = layer.weight_bytes if layer.kind in RECURRENT_KINDS else 0
             self._prefix_recurrent.append(self._prefix_recurrent[-1] + recurrent)
             self._prefix_acts.append(self._prefix_acts[-1] + layer.activation_bytes)
+            self._prefix_backward.append(self._prefix_backward[-1] + layer.backward)
 
     # ------------------------------------------------------------------
     # Range helpers
@@ -407,6 +444,15 @@ class PipeDreamOptimizer:
     def _activation_sum(self, i: int, j: int) -> float:
         """Summed activation stash of layers i..j inclusive (one minibatch)."""
         return self._prefix_acts[j + 1] - self._prefix_acts[i]
+
+    def _backward_sum(self, i: int, j: int) -> float:
+        """Backward-pass seconds of layers i..j inclusive (device-adjusted)."""
+        return self._prefix_backward[j + 1] - self._prefix_backward[i]
+
+    def _boundary_acts(self, j: int) -> float:
+        """Input-boundary activation bytes of a stage starting at layer ``j``
+        (what a recompute-on stage stashes per in-flight minibatch)."""
+        return self._prefix_acts[j] - self._prefix_acts[j - 1] if j > 0 else 0.0
 
     def _bucket_count(self, i: int, j: int) -> int:
         """Streamable collectives per round for span i..j inclusive.
@@ -478,11 +524,16 @@ class PipeDreamOptimizer:
         # mode) the instance topology's worker count — never on the limit
         # itself, which only enters through the <= comparison.  A shared
         # context therefore serves every memory cap from one matrix.
-        ctx_key = (
-            ("refined",)
-            if self.memory_refine
-            else ("bound", max(1, self.topology.total_workers))
-        )
+        if self.memory_refine:
+            # Recompute-auto lowers the per-layer floor (a checkpointing
+            # stage may stash as little as one full set), so its matrix
+            # carries different values and must not share the default key.
+            ctx_key = (
+                ("refined", "recompute") if self._recompute_auto
+                else ("refined",)
+            )
+        else:
+            ctx_key = ("bound", max(1, self.topology.total_workers))
         if self.context is not None:
             cached = self.context.bound_matrices.get(ctx_key)
             if cached is not None:
@@ -499,10 +550,23 @@ class PipeDreamOptimizer:
                 layer.weight_bytes if layer.kind in RECURRENT_KINDS else 0
                 for layer in layers
             ]
+            recompute_floor = self._recompute_auto
+
             def cost_at(l: int, depth: int) -> float:
+                # With recompute available the optimistic floor is the
+                # checkpointing cost at a zero-byte boundary (a stage
+                # starting at layer 0 stashes no boundary activations):
+                # eager*depth + one deferred version + one full set.  The
+                # kernel clamps recompute-on at or below stash-everything,
+                # so this floor relaxes the default one and the superset
+                # invariant extends to recompute masks (ISSUE 9 satellite:
+                # depth boundary sets + one full buffer, never depth full
+                # sets).
                 return float(kernel(
                     layers[l].weight_bytes, deferred[l],
                     layers[l].activation_bytes, depth, depth,
+                    recompute=recompute_floor,
+                    boundary_activation_bytes=0,
                 ))
             # A span reaching layer n-1 may place *any* of its layers in the
             # final depth-1 stage, so its bound drops to the depth-1 floor.
@@ -843,6 +907,13 @@ class PipeDreamOptimizer:
         the group this (suffix ``m``, replicas ``mp``) stage occupies;
         ``lat`` the per-collective setup latency that group pays, charged
         once per stream bucket plus once for the deferred payload.
+
+        Under ``recompute="auto"`` the stage prefers stash-everything
+        whenever it fits (so generous limits stay bitwise identical to
+        the recompute-free solver) and falls back to checkpointing —
+        boundary-only stash, one extra forward of compute — only when
+        stash-everything busts the cap.  :meth:`_reconstruct_refined`
+        re-derives the same decision from the same arithmetic.
         """
         if mp > 1 and not self.allow_replication:
             return math.inf
@@ -851,9 +922,24 @@ class PipeDreamOptimizer:
             self._weights(j, k), self._recurrent_weights(j, k),
             self._activation_sum(j, k), versions, mp,
         )
+        stage_compute = self._time(j, k)
         if cost > limit:
-            return math.inf
-        compute_term = self._time(j, k) / mp
+            if not self._recompute_auto:
+                return math.inf
+            cost_on = self._stage_memory_cost(
+                self._weights(j, k), self._recurrent_weights(j, k),
+                self._activation_sum(j, k), versions, mp,
+                recompute=True,
+                boundary_activation_bytes=self._boundary_acts(j),
+            )
+            if cost_on > limit:
+                return math.inf
+            # Checkpointing re-runs the stage's forward during backward:
+            # one extra forward = compute minus the backward share.
+            stage_compute = stage_compute + (
+                stage_compute - self._backward_sum(j, k)
+            )
+        compute_term = stage_compute / mp
         if mp == 1:
             return compute_term
         weights = self._weights(j, k)
@@ -960,6 +1046,18 @@ class PipeDreamOptimizer:
         acts = np.asarray(
             [self.profile.activation_bytes(k) for k in range(n)]
         )
+        recompute_auto = self._recompute_auto
+        if recompute_auto:
+            # Checkpointed stage time: one extra forward (compute minus
+            # backward), same float expression as the scalar twin's
+            # ``stage_compute + (stage_compute - backward)``.
+            pb = np.asarray(self._prefix_backward)
+            Bt = pb[None, 1:] - pb[:n, None]
+            compute_r = compute + (compute - Bt)
+            # Boundary stash per leading layer j: pa[j] - pa[j-1] (0 at
+            # the input stage), the same subtraction _boundary_acts does.
+            bacts = np.zeros(n)
+            bacts[1:] = pa[1:n] - pa[: n - 1]
         R = np.full((W + 1, n + 1), inf)
         R[0, n] = 0.0
         ptr_k = np.full((W + 1, n), -1, dtype=np.int64)
@@ -985,10 +1083,14 @@ class PipeDreamOptimizer:
                 # coeff varies with the suffix, so it cannot be hoisted.
                 coeff = coeffs[m][mp]
                 lat = lats[m][mp]
+                tval_r = None
                 if mp == 1:
                     tval = np.where(valid, compute / 1, inf)
+                    if recompute_auto:
+                        tval_r = np.where(valid, compute_r / 1, inf)
                 elif not self.allow_replication:
                     tval = np.full((n, n), inf)
+                    tval_r = tval
                 else:
                     stream_t = (Wt - D) * coeff / mp
                     deferred_t = D * coeff / mp
@@ -1002,9 +1104,26 @@ class PipeDreamOptimizer:
                     tm = np.maximum(compute / mp, stream_t)
                     tm = tm + deferred_t
                     tval = np.where(valid, tm, inf)
+                    if recompute_auto:
+                        tm_r = np.maximum(compute_r / mp, stream_t)
+                        tm_r = tm_r + deferred_t
+                        tval_r = np.where(valid, tm_r, inf)
                 versions = -(-m // mp)
                 cost = self._stage_memory_cost(Wt, D, At, versions, mp)
-                masked = np.where(cost <= limit, tval, inf)
+                if recompute_auto:
+                    # Prefer stash-everything when it fits (bitwise no-op
+                    # under generous limits); checkpoint only when it is
+                    # the cap-respecting option — the scalar twin's rule.
+                    cost_r = self._stage_memory_cost(
+                        Wt, D, At, versions, mp, recompute=True,
+                        boundary_activation_bytes=bacts[:, None],
+                    )
+                    masked = np.where(
+                        cost <= limit, tval,
+                        np.where(cost_r <= limit, tval_r, inf),
+                    )
+                else:
+                    masked = np.where(cost <= limit, tval, inf)
                 boundary = np.zeros(n)
                 if n > 1:
                     boundary[: n - 1] = (
@@ -1030,14 +1149,29 @@ class PipeDreamOptimizer:
         return self._reconstruct_refined(ptr_k, ptr_mp, W)
 
     def _reconstruct_refined(self, ptr_k, ptr_mp, W: int) -> List[Stage]:
-        """Walk the suffix DP's back-pointers front to back."""
+        """Walk the suffix DP's back-pointers front to back.
+
+        Under ``recompute="auto"`` the per-stage flag is re-derived from
+        the exact arithmetic the masks used: a chosen stage checkpoints
+        iff its stash-everything cost busts the limit (the DP only
+        admitted such a cell through the recompute mask, and always
+        prefers stash-everything when it fits).
+        """
         n = self._n
         stages: List[Stage] = []
         j, m = 0, W
         while j < n:
             k = int(ptr_k[m][j])
             mp = int(ptr_mp[m][j])
-            stages.append(Stage(j, k + 1, mp))
+            recompute = False
+            if self._recompute_auto:
+                versions = -(-m // mp)
+                cost = self._stage_memory_cost(
+                    self._weights(j, k), self._recurrent_weights(j, k),
+                    self._activation_sum(j, k), versions, mp,
+                )
+                recompute = cost > self.memory_limit_bytes
+            stages.append(Stage(j, k + 1, mp, recompute=recompute))
             j = k + 1
             m -= mp
         return stages
@@ -1456,7 +1590,8 @@ class _EvalTables:
 
     __slots__ = ("prefix_time", "prefix_weights", "prefix_recurrent", "acts",
                  "prefix_backward",
-                 "np_time", "np_weights", "np_recurrent", "np_acts")
+                 "np_time", "np_weights", "np_recurrent", "np_acts",
+                 "np_backward")
 
     def __init__(self, profile: ModelProfile):
         pt, pw, pr, pb = [0.0], [0.0], [0.0], [0.0]
@@ -1478,6 +1613,7 @@ class _EvalTables:
             self.np_weights = np.asarray(pw)
             self.np_recurrent = np.asarray(pr)
             self.np_acts = np.asarray(acts)
+            self.np_backward = np.asarray(pb)
 
 
 #: Bounded, lock-guarded registry of per-profile evaluator tables, keyed
@@ -1643,9 +1779,15 @@ def _evaluate_details_scalar(
     boundary_times: List[float] = []
     sync_exposed: List[float] = []
     sync_hidden: List[float] = []
+    pb = tables.prefix_backward
     for idx, stage in enumerate(stages):
         r = stage.replicas
         compute = (pt[stage.stop] - pt[stage.start]) / scale
+        if stage.recompute:
+            # Checkpointing replays the stage's forward during backward.
+            compute = compute + (
+                compute - (pb[stage.stop] - pb[stage.start]) / scale
+            )
         cost = compute / r
         exposed = hidden = 0.0
         if r > 1:
@@ -1695,6 +1837,12 @@ def _evaluate_details_vectorized(
     reps = np.fromiter((s.replicas for s in stages), dtype=np.int64, count=S)
 
     compute = (tables.np_time[stops] - tables.np_time[starts]) / scale
+    if any(s.recompute for s in stages):
+        # Same float expression as the scalar twin, selected elementwise;
+        # the guard keeps recompute-free plans on the untouched arrays.
+        bwd = (tables.np_backward[stops] - tables.np_backward[starts]) / scale
+        rec = np.fromiter((s.recompute for s in stages), dtype=bool, count=S)
+        compute = np.where(rec, compute + (compute - bwd), compute)
     cost = compute / reps
     exposed = np.zeros(S)
     hidden = np.zeros(S)
@@ -1848,11 +1996,18 @@ def _evaluate_details_bucketed(
     for idx, stage in enumerate(stages):
         r = stage.replicas
         compute = (pt[stage.stop] - pt[stage.start]) / scale
+        backward_total = (pb[stage.stop] - pb[stage.start]) / scale
+        if stage.recompute:
+            # Checkpointing replays the forward inside the backward
+            # window: the round grows by one forward and the backward
+            # phase (which gates bucket readiness) absorbs it.
+            forward_extra = compute - backward_total
+            compute = compute + forward_extra
+            backward_total = backward_total + forward_extra
         cost = compute / r
         exposed = hidden = 0.0
         if r > 1:
             deferred = pr[stage.stop] - pr[stage.start]
-            backward_total = (pb[stage.stop] - pb[stage.start]) / scale
             buckets = gradient_buckets(
                 profile, stage.start, stage.stop, bucket_bytes
             )

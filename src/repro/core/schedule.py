@@ -29,7 +29,18 @@ from repro.core.partition import Stage
 class OpKind(Enum):
     FORWARD = "F"
     BACKWARD = "B"
+    #: 2BP grad-weight op: the weight-gradient half of a split backward
+    #: pass.  Purely local to its worker (no sends) and always ready once
+    #: reached in worker order — it must follow its minibatch's BACKWARD
+    #: (the grad-input half) on the same worker.
+    BACKWARD_W = "W"
     UPDATE = "U"
+
+
+#: Schedule families a 1F1B-style schedule can be transformed into.
+#: ``"1f1b"`` is the identity; ``"2bp"`` applies
+#: :func:`split_backward_schedule` (2-Stage Backpropagation).
+SCHEDULE_FAMILIES = ("1f1b", "2bp")
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,6 +67,9 @@ class Schedule:
         noam: in-flight minibatches admitted per input-stage replica.
         flush_after: for GPipe-style schedules, minibatch ids after whose
             UPDATE the pipeline flushes (empty for 1F1B).
+        backward_split: True for 2BP schedules — every BACKWARD op is the
+            grad-input half of a split backward pass, with a matching
+            BACKWARD_W (grad-weight) op later on the same worker.
     """
 
     stages: List[Stage]
@@ -64,6 +78,7 @@ class Schedule:
     stage_workers: Dict[int, List[int]]
     noam: int
     flush_after: List[int] = field(default_factory=list)
+    backward_split: bool = False
 
     @property
     def num_workers(self) -> int:
@@ -333,6 +348,62 @@ def data_parallel_schedule(num_workers: int, num_minibatches: int,
 
 
 # ----------------------------------------------------------------------
+# Schedule families (2BP backward splitting)
+# ----------------------------------------------------------------------
+
+def split_backward_schedule(schedule: Schedule) -> Schedule:
+    """2BP (2-Stage Backpropagation): split every backward in two.
+
+    Each BACKWARD op becomes the grad-input half (keeping its slot and its
+    upstream gradient send) immediately followed by a BACKWARD_W grad-weight
+    op on the same worker.  The grad-input half alone gates the upstream
+    stage's backward, so the cross-stage backward dependency chain shortens
+    while the grad-weight work fills what used to be bubble time.  Total
+    compute is conserved exactly: the simulator prices the two halves so
+    they sum bitwise to the unsplit backward.
+
+    Works on any base schedule (1F1B, 1F1B-RR, GPipe, MP, DP); UPDATE ops
+    keep their position after the (now two-part) backward, so update-round
+    membership and weight-sync timing are unchanged.
+    """
+    if schedule.backward_split:
+        raise ValueError("schedule backward pass is already split")
+    worker_ops: Dict[int, List[Op]] = {}
+    for worker, ops in schedule.worker_ops.items():
+        out: List[Op] = []
+        for op in ops:
+            out.append(op)
+            if op.kind is OpKind.BACKWARD:
+                out.append(Op(OpKind.BACKWARD_W, op.stage, op.minibatch))
+        worker_ops[worker] = out
+    return Schedule(
+        stages=list(schedule.stages),
+        num_minibatches=schedule.num_minibatches,
+        worker_ops=worker_ops,
+        stage_workers={s: list(w) for s, w in schedule.stage_workers.items()},
+        noam=schedule.noam,
+        flush_after=list(schedule.flush_after),
+        backward_split=True,
+    )
+
+
+def schedule_for_family(schedule: Schedule, family: str) -> Schedule:
+    """Transform a base schedule into the named family.
+
+    ``"1f1b"`` returns ``schedule`` itself (the identity — callers passing
+    the default family get the exact original object, so default runs stay
+    bitwise-unchanged); ``"2bp"`` applies :func:`split_backward_schedule`.
+    """
+    if family == "1f1b":
+        return schedule
+    if family == "2bp":
+        return split_backward_schedule(schedule)
+    raise ValueError(
+        f"unknown schedule family {family!r}; expected one of "
+        f"{SCHEDULE_FAMILIES}")
+
+
+# ----------------------------------------------------------------------
 # Validation (the invariants §3.2 and §3.3 rely on)
 # ----------------------------------------------------------------------
 
@@ -351,6 +422,7 @@ def validate_schedule(schedule: Schedule) -> None:
     """
     seen_f: Dict[Tuple[int, int], int] = {}
     seen_b: Dict[Tuple[int, int], int] = {}
+    seen_w: Dict[Tuple[int, int], int] = {}
     for worker, ops in schedule.worker_ops.items():
         position: Dict[Tuple[OpKind, int, int], int] = {}
         for idx, op in enumerate(ops):
@@ -370,6 +442,20 @@ def validate_schedule(schedule: Schedule) -> None:
                         f"backward before forward for mb {op.minibatch} "
                         f"stage {op.stage} on worker {worker}"
                     )
+            elif op.kind == OpKind.BACKWARD_W:
+                seen_w[(op.stage, op.minibatch)] = worker
+                bkey = (OpKind.BACKWARD, op.stage, op.minibatch)
+                wkey = (OpKind.BACKWARD_W, op.stage, op.minibatch)
+                if bkey not in position:
+                    raise ValueError(
+                        f"grad-weight op {op} without its grad-input "
+                        f"backward on worker {worker}"
+                    )
+                if position[wkey] < position[bkey]:
+                    raise ValueError(
+                        f"grad-weight before grad-input for mb "
+                        f"{op.minibatch} stage {op.stage} on worker {worker}"
+                    )
 
     for s in range(schedule.num_stages):
         for mb in range(schedule.num_minibatches):
@@ -381,6 +467,11 @@ def validate_schedule(schedule: Schedule) -> None:
                 raise ValueError(
                     f"forward/backward replica mismatch for stage {s} mb {mb}: "
                     f"{seen_f[(s, mb)]} vs {seen_b[(s, mb)]}"
+                )
+            if schedule.backward_split and (s, mb) not in seen_w:
+                raise ValueError(
+                    f"missing grad-weight op for stage {s} mb {mb} in a "
+                    f"backward-split schedule"
                 )
 
     _check_executable(schedule)
@@ -406,7 +497,8 @@ def _check_executable(schedule: Schedule) -> None:
             if op.stage == last_stage:
                 return (op.stage, op.minibatch) in done_f
             return (op.stage + 1, op.minibatch) in done_b
-        return True  # UPDATE follows its backward on the same worker
+        # UPDATE and BACKWARD_W follow their backward on the same worker
+        return True
 
     remaining = sum(len(ops) for ops in schedule.worker_ops.values())
     while remaining:

@@ -43,6 +43,7 @@ from repro.core.schedule import (
     OpKind,
     Schedule,
     one_f_one_b_rr_schedule,
+    schedule_for_family,
 )
 from repro.core.stashing import WeightStore
 from repro.models.base import LayeredModel
@@ -372,7 +373,11 @@ class PipelineTrainer:
                 module = copy.deepcopy(model.stage_module(stage.start, stage.stop))
                 group.append(_StageReplica(
                     s, q, module, policy, optimizer_factory,
-                    recompute_activations=recompute_activations,
+                    # The trainer-wide flag ORs with the planner's per-stage
+                    # decision (Stage.recompute), so a plan that checkpoints
+                    # only some stages runs exactly as priced.
+                    recompute_activations=(
+                        recompute_activations or stage.recompute),
                     precision=precision,
                 ))
             self.replicas[s] = group
@@ -415,9 +420,21 @@ class PipelineTrainer:
     # ------------------------------------------------------------------
     # Scheduling and execution
     # ------------------------------------------------------------------
-    def train_minibatches(self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> float:
-        """Run one 1F1B-RR schedule over ``batches``; returns mean loss."""
+    def train_minibatches(
+        self,
+        batches: Sequence[Tuple[np.ndarray, np.ndarray]],
+        schedule_family: str = "1f1b",
+    ) -> float:
+        """Run one schedule over ``batches``; returns mean loss.
+
+        ``schedule_family="1f1b"`` (default) executes the classic 1F1B-RR
+        schedule unchanged; ``"2bp"`` splits every backward into a
+        grad-input op (which unblocks the upstream stage) and a deferred
+        grad-weight op (:data:`OpKind.BACKWARD_W`) that commits the
+        parameter gradients.
+        """
         schedule = one_f_one_b_rr_schedule(self.stages, len(batches))
+        schedule = schedule_for_family(schedule, schedule_family)
         return self._execute(schedule, batches)
 
     def train_epoch(self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> float:
@@ -444,6 +461,12 @@ class PipelineTrainer:
         # round members can be unscaled individually before averaging.
         mb_scale: Dict[int, float] = {}
         round_scales: Dict[Tuple[int, int], List[float]] = defaultdict(list)
+        # 2BP (backward-split) schedules: the grad-input half (BACKWARD)
+        # sends the upstream gradient immediately; the parameter gradients
+        # sit here until the trailing grad-weight op (BACKWARD_W) commits
+        # them to the update round.
+        split = schedule.backward_split
+        pending_w: Dict[Tuple[int, int], Dict[str, np.ndarray]] = {}
 
         def ready(op: Op) -> bool:
             if op.kind == OpKind.FORWARD:
@@ -500,8 +523,16 @@ class PipelineTrainer:
                         grad_in = cast_payload_fp16(grad_in)
                     self.network.send(me, upstream, ("grad", s - 1, b), grad_in)
                 done_b.add((s, b))
+                if split:
+                    pending_w[(s, b)] = grads
+                else:
+                    rnd = b // stages[s].replicas
+                    round_grads[(s, rnd)].append(grads)
+                    if fp16:
+                        round_scales[(s, rnd)].append(mb_scale[b])
+            elif op.kind == OpKind.BACKWARD_W:
                 rnd = b // stages[s].replicas
-                round_grads[(s, rnd)].append(grads)
+                round_grads[(s, rnd)].append(pending_w.pop((s, b)))
                 if fp16:
                     round_scales[(s, rnd)].append(mb_scale[b])
             else:  # UPDATE

@@ -62,9 +62,10 @@ _PLAN_KEYS = frozenset({
     "model", "profile", "device", "precision",
     "cluster", "servers", "topology", "num_workers",
     "memory_limit_bytes", "allow_replication", "memory_refine", "vectorize",
-    "bucket_bytes",
+    "bucket_bytes", "recompute",
 })
-_SIMULATE_KEYS = _PLAN_KEYS | {"strategy", "minibatches", "engine"}
+_SIMULATE_KEYS = _PLAN_KEYS | {"strategy", "minibatches", "engine",
+                               "schedule_family"}
 
 
 class RequestError(ValueError):
@@ -134,6 +135,7 @@ class NormalizedQuery:
     memory_refine: bool
     vectorize: bool
     bucket_bytes: Optional[float]
+    recompute: Optional[str]
     key: tuple
 
 
@@ -218,11 +220,19 @@ def normalize_plan_request(
         bucket_bytes = float(bucket_bytes)
         if bucket_bytes <= 0:
             raise RequestError("bucket_bytes must be positive")
+    recompute = request.get("recompute")
+    if recompute is not None and recompute != "auto":
+        raise RequestError(
+            f"recompute must be null or 'auto', got {recompute!r}")
+    if recompute == "auto" and not memory_refine:
+        raise RequestError("recompute='auto' requires memory_refine")
 
     # The canonical identity of the query.  The profile digest already
     # encodes precision (element width changes the serialized bytes); the
     # topology enters by value, so a named cluster and its inline JSON
-    # twin are the same query.
+    # twin are the same query.  New optional fields extend the key only
+    # when set, so every pre-existing query keeps its exact historical
+    # cache key.
     key = (
         profile.digest(),
         _topology_signature(solve_topology),
@@ -233,6 +243,8 @@ def normalize_plan_request(
         vectorize,
         bucket_bytes,
     )
+    if recompute is not None:
+        key = key + (("recompute", recompute),)
     return NormalizedQuery(
         profile=profile,
         topology=solve_topology,
@@ -242,6 +254,7 @@ def normalize_plan_request(
         memory_refine=memory_refine,
         vectorize=vectorize,
         bucket_bytes=bucket_bytes,
+        recompute=recompute,
         key=key,
     )
 
@@ -298,6 +311,7 @@ class PlannerService:
             vectorize=query.vectorize,
             memory_refine=query.memory_refine,
             bucket_bytes=query.bucket_bytes,
+            recompute=query.recompute,
             context=self._context_for(query.profile),
         )
 
@@ -318,6 +332,13 @@ class PlannerService:
             "memory_limit_bytes": result.memory_limit_bytes,
             "solve_seconds": result.solve_seconds,
         }
+        if query.recompute is not None:
+            # Which stages the planner chose to checkpoint; only present
+            # when the request opted into the recompute decision, so
+            # historical response payloads are unchanged.
+            payload["stage_recompute"] = [
+                bool(s.recompute) for s in result.stages
+            ]
         self.plan_cache.put(("plan", query.key), payload)
         return dict(payload, cached=False)
 
@@ -341,12 +362,25 @@ class PlannerService:
         strategy = request.get("strategy", "pipedream")
         minibatches = int(request.get("minibatches", 48))
         engine = request.get("engine", "event")
+        schedule_family = request.get("schedule_family", "1f1b")
+        if schedule_family not in ("1f1b", "2bp"):
+            raise RequestError(
+                f"unknown schedule_family {schedule_family!r} "
+                "(have ['1f1b', '2bp'])")
+        if schedule_family != "1f1b" and strategy != "pipedream":
+            raise RequestError(
+                "schedule_family='2bp' applies to the pipedream strategy")
         query = normalize_plan_request(
             {k: v for k, v in request.items()
-             if k not in ("strategy", "minibatches", "engine")},
+             if k not in ("strategy", "minibatches", "engine",
+                          "schedule_family")},
             allowed_keys=_PLAN_KEYS,
         )
         cache_key = ("simulate", query.key, strategy, minibatches, engine)
+        if schedule_family != "1f1b":
+            # Appended only when non-default, so pre-existing simulate
+            # queries keep their exact historical cache keys.
+            cache_key = cache_key + (("schedule_family", schedule_family),)
         cached = self.plan_cache.get(cache_key)
         if cached is not None:
             return dict(cached, cached=True)
@@ -365,6 +399,7 @@ class PlannerService:
                 profile, topology, num_minibatches=minibatches,
                 engine=engine, optimizer=self._optimizer(query),
                 bucket_bytes=query.bucket_bytes,
+                schedule_family=schedule_family,
             )
         elif strategy == "dp":
             result = simulate_data_parallel(
@@ -411,6 +446,7 @@ class PlannerService:
             "models", "cluster", "servers", "topology", "counts",
             "strategies", "precisions", "bucket_sizes", "device",
             "minibatches", "engine", "executor", "workers",
+            "recomputes", "schedule_families", "memory_limit_bytes",
         }
         unknown = set(request) - allowed
         if unknown:
@@ -446,6 +482,14 @@ class PlannerService:
                 bucket_sizes=tuple(
                     None if cap is None else float(cap)
                     for cap in request.get("bucket_sizes", (None,))
+                ),
+                recomputes=tuple(request.get("recomputes", (None,))),
+                schedule_families=tuple(
+                    request.get("schedule_families", ("1f1b",))
+                ),
+                memory_limit_bytes=(
+                    None if request.get("memory_limit_bytes") is None
+                    else float(request["memory_limit_bytes"])
                 ),
                 contexts=self.contexts if self.warm_start else None,
             )

@@ -212,7 +212,7 @@ class _SimCore:
 
     __slots__ = (
         "schedule", "options", "stages", "last_stage", "B", "S",
-        "fwd_time", "bwd_time", "boundary_bytes",
+        "fwd_time", "bwd_time", "bwd_w_time", "boundary_bytes",
         "sync_duration", "sync_stream", "sync_deferred",
         "placement", "workers", "ops_by_rank", "stage_workers_list",
         "replicas", "round_div", "round_expected", "gated_forward",
@@ -245,10 +245,30 @@ class _SimCore:
         fwd_time, bwd_time = stage_compute_times(
             profile, stages, topology.compute_scale
         )
+        # 2BP backward split (schedules with ``backward_split``): the
+        # grad-weight half leaves the critical grad-input path *before*
+        # recompute is applied — the replayed forward must precede
+        # grad-input (it rebuilds the tape), while grad-weight work is
+        # pure local math that checkpointing never touches.  The halves
+        # conserve the unsplit duration exactly (w = b/2, i = b - w).
+        if schedule.backward_split:
+            bwd_w_time = [0.5 * b for b in bwd_time]
+            bwd_time = [b - w for b, w in zip(bwd_time, bwd_w_time)]
+        else:
+            bwd_w_time = [0.0] * len(bwd_time)
         if options.recompute_activations:
             bwd_time = [b + f for f, b in zip(fwd_time, bwd_time)]
+        elif any(stage.recompute for stage in stages):
+            # Planner-chosen per-stage checkpointing: only flagged stages
+            # replay their forward; the guard keeps recompute-free plans
+            # on the untouched list.
+            bwd_time = [
+                b + f if stage.recompute else b
+                for stage, f, b in zip(stages, fwd_time, bwd_time)
+            ]
         self.fwd_time = fwd_time
         self.bwd_time = bwd_time
+        self.bwd_w_time = bwd_w_time
 
         self.boundary_bytes = [
             profile.activation_bytes(stage.stop - 1) for stage in stages[:-1]
@@ -430,8 +450,9 @@ class _SimCore:
         """Earliest start for ``op``, or None if a dependency is unresolved."""
         t = self.worker_free[worker]
         kind = op.kind
-        if kind is OpKind.UPDATE:
-            # UPDATE runs right after its backward on the same worker.
+        if kind is OpKind.UPDATE or kind is OpKind.BACKWARD_W:
+            # UPDATE and the 2BP grad-weight op run right after their
+            # backward on the same worker — no cross-worker dependency.
             return t
         s = op.stage
         sB = s * self.B
@@ -487,7 +508,7 @@ class _SimCore:
         """
         t = self.worker_free[worker]
         kind = op.kind
-        if kind is OpKind.UPDATE:
+        if kind is OpKind.UPDATE or kind is OpKind.BACKWARD_W:
             return t, None
         s = op.stage
         sB = s * self.B
@@ -574,6 +595,20 @@ class _SimCore:
                            self.arrivals_b, sB - self.B + b, self.AB_OFF)
             else:
                 self.minibatch_done[b] = end
+            self.worker_free[worker] = end
+        elif kind is OpKind.BACKWARD_W:
+            # 2BP grad-weight half: pure local compute — no sends, no
+            # events fired.  It sits between the grad-input backward and
+            # the round's UPDATE, so the update still starts at the
+            # unsplit backward's end time while the upstream gradient
+            # left one grad-weight duration earlier.
+            dur = self.bwd_w_time[s] / self.speed[worker]
+            if self.faults is None:
+                end = start + dur
+            else:
+                end = self.faults.compute_end(worker, start, dur)
+                dur = end - start
+            self.compute_time[worker] += dur
             self.worker_free[worker] = end
         else:  # UPDATE
             end = self._execute_update(worker, op, start)
@@ -889,6 +924,8 @@ class _SimCore:
         UD_OFF = self.UD_OFF
         FORWARD = OpKind.FORWARD
         UPDATE = OpKind.UPDATE
+        BACKWARD_W = OpKind.BACKWARD_W
+        bwd_w_time = self.bwd_w_time
         execute_update = self._execute_update
         append_record = self.records.append
         bumped = self.bumped
@@ -930,7 +967,7 @@ class _SimCore:
             op = ops_by_rank[rank][pointers[rank]]
             t = worker_free[workers[rank]]
             kind = op.kind
-            if kind is not UPDATE:
+            if kind is not UPDATE and kind is not BACKWARD_W:
                 s = op.stage
                 sB = s * B
                 b = op.minibatch
@@ -1104,6 +1141,13 @@ class _SimCore:
                     # Only the last stage's own backward waits on forward
                     # completion.
                     wake_key = FE_OFF + sB + b
+            elif kind is BACKWARD_W:
+                # Inline of execute()'s grad-weight branch: local compute
+                # only, nothing fired.
+                dur = bwd_w_time[s] / speed[worker]
+                end = t + dur
+                compute_time[worker] += dur
+                worker_free[worker] = end
             else:  # BACKWARD
                 dur = bwd_time[s] / speed[worker]
                 end = t + dur
@@ -1142,8 +1186,9 @@ class _SimCore:
             committed += 1
             if idx < lengths[rank]:
                 nop = ops_by_rank[rank][idx]
-                if nop.kind is UPDATE:
-                    # UPDATE heads are unconditionally ready at worker_free.
+                if nop.kind is UPDATE or nop.kind is BACKWARD_W:
+                    # UPDATE and grad-weight heads are unconditionally
+                    # ready at worker_free.
                     own = (worker_free[worker], rank)
                 else:
                     own = enqueue(rank)

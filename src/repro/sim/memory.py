@@ -7,7 +7,12 @@ price stashed state through :func:`stage_memory_cost` /
 :func:`stage_memory_bytes`.  There are deliberately no other payload
 formulas in the codebase — keeping one formula is what guarantees the
 planner's bound-admitted ⊇ refined-admitted ⊇ footprint-feasible
-invariant (see ``docs/INTERNALS.md`` §7).
+invariant (see ``docs/INTERNALS.md`` §7).  The aggregate helpers below
+(`stage_weight_bytes` / `stage_activation_bytes` /
+:func:`stage_deferred_weight_bytes` / :func:`stage_boundary_activation_bytes`)
+share one ``(profile, start, stop)`` signature and are the only place the
+profile's layer lists are summed; :func:`stage_memory_bytes` is composed
+from them, so the single-source claim is enforced by call structure.
 
 PipeDream's per-stage footprint is governed by the number of in-flight
 minibatches a stage holds.  The in-flight count at stage ``s`` is the
@@ -22,6 +27,14 @@ stage's round-robin stream — so a replica's in-flight window spans only
 ``ceil(depth / replicas)`` distinct versions of them.  Data parallelism
 holds exactly one weight version and one activation set for the whole
 model on every worker.
+
+Activation recomputation (checkpointing) changes only the activation
+term: a recompute-on stage stashes just its *input boundary* activations
+per in-flight minibatch and rebuilds the interior during its backward
+pass, holding at most one full activation set (the live recompute
+buffer) at a time.  The kernel never prices recompute above
+stash-everything — the two modes share every other term, so
+recompute-on footprint ≤ recompute-off holds by construction.
 """
 
 from __future__ import annotations
@@ -33,17 +46,29 @@ from repro.core.profile import ModelProfile
 from repro.core.schedule import warmup_count
 
 
-def stage_weight_bytes(profile: ModelProfile, stage: Stage) -> int:
-    return profile.weight_bytes(stage.start, stage.stop)
+def stage_weight_bytes(profile: ModelProfile, start: int, stop: int) -> int:
+    """Weight bytes of stage ``[start, stop)``."""
+    return profile.weight_bytes(start, stop)
 
 
-def stage_activation_bytes(profile: ModelProfile, stage: Stage) -> int:
+def stage_activation_bytes(profile: ModelProfile, start: int, stop: int) -> int:
     """Activation bytes a stage must stash per in-flight minibatch.
 
     Every layer's output is live between forward and backward, so the stash
     is the sum of the stage's layer outputs for one minibatch.
     """
-    return sum(l.activation_bytes for l in profile.layers[stage.start : stage.stop])
+    return sum(l.activation_bytes for l in profile.layers[start:stop])
+
+
+def stage_boundary_activation_bytes(profile: ModelProfile, start: int) -> int:
+    """Input-boundary activation bytes of a stage starting at ``start``.
+
+    This is what a recompute-on stage must keep per in-flight minibatch:
+    the upstream stage's output (layer ``start - 1``), from which the
+    interior activations are rebuilt during backward.  The input stage
+    reads training data, which is not stashed activation state.
+    """
+    return profile.activation_bytes(start - 1) if start > 0 else 0
 
 
 def stage_deferred_weight_bytes(profile: ModelProfile, start: int, stop: int) -> int:
@@ -62,28 +87,44 @@ def stage_deferred_weight_bytes(profile: ModelProfile, start: int, stop: int) ->
 
 
 def stage_memory_cost(weight_bytes, deferred_weight_bytes, activation_bytes,
-                      depth, replicas=1):
+                      depth, replicas=1, recompute=False,
+                      boundary_activation_bytes=0):
     """The shared §3.3 payload kernel: bytes one replica holds at ``depth``.
 
-    ``weight_bytes`` / ``deferred_weight_bytes`` / ``activation_bytes`` may
-    be scalars or numpy arrays (the vectorized DP twin passes range-table
-    arrays); ``depth`` and ``replicas`` are integers.  All consumers — the
-    bound, both refined-DP twins, and the footprint — evaluate exactly this
-    expression, so their admit/reject decisions can only differ through the
-    ``depth``/``replicas`` they plug in, never through the formula:
+    ``weight_bytes`` / ``deferred_weight_bytes`` / ``activation_bytes`` /
+    ``boundary_activation_bytes`` may be scalars or numpy arrays (the
+    vectorized DP twin passes range-table arrays); ``depth`` and
+    ``replicas`` are integers.  All consumers — the bound, both refined-DP
+    twins, and the footprint — evaluate exactly this expression, so their
+    admit/reject decisions can only differ through the
+    ``depth``/``replicas``/``recompute`` they plug in, never through the
+    formula:
 
     - eagerly-updated weights stash one version per in-flight minibatch
       (``depth`` versions, the newest being the live copy);
     - deferred (BPTT-accumulated) weights update once per round of
       ``replicas`` minibatches, so the in-flight window spans only
       ``ceil(depth / replicas)`` distinct versions of them;
-    - activations stash one set per in-flight minibatch (``depth`` sets).
+    - activations stash one set per in-flight minibatch (``depth`` sets) —
+      unless ``recompute`` is on, in which case the stage keeps ``depth``
+      *boundary* sets plus at most one full set (the live recompute
+      buffer), clamped so recompute never prices above stash-everything.
     """
     stash_versions = -(-depth // replicas)  # ceil(depth / replicas)
     eager = weight_bytes - deferred_weight_bytes
+    acts_term = activation_bytes * depth
+    if recompute:
+        acts_on = boundary_activation_bytes * depth + activation_bytes
+        smaller = acts_on < acts_term
+        if smaller is True or smaller is False:
+            acts_term = acts_on if smaller else acts_term
+        else:  # numpy arrays: elementwise clamp
+            import numpy as np
+
+            acts_term = np.where(smaller, acts_on, acts_term)
     return (eager * depth
             + deferred_weight_bytes * stash_versions
-            + activation_bytes * depth)
+            + acts_term)
 
 
 def stage_memory_bytes(
@@ -92,14 +133,20 @@ def stage_memory_bytes(
     stop: int,
     depth: int,
     replicas: int = 1,
+    recompute: bool = False,
 ) -> int:
     """Peak bytes one replica of stage ``[start, stop)`` holds at ``depth``
     in-flight minibatches — the single source of truth for per-stage memory
-    (see module docstring)."""
-    weights = profile.weight_bytes(start, stop)
+    (see module docstring).  Composed from the aggregate helpers above so
+    every byte flows through exactly one summation per quantity."""
+    weights = stage_weight_bytes(profile, start, stop)
     deferred = stage_deferred_weight_bytes(profile, start, stop)
-    acts = sum(l.activation_bytes for l in profile.layers[start:stop])
-    return int(stage_memory_cost(weights, deferred, acts, depth, replicas))
+    acts = stage_activation_bytes(profile, start, stop)
+    boundary = stage_boundary_activation_bytes(profile, start)
+    return int(stage_memory_cost(
+        weights, deferred, acts, depth, replicas,
+        recompute=recompute, boundary_activation_bytes=boundary,
+    ))
 
 
 def pipeline_memory_footprint(
@@ -112,20 +159,25 @@ def pipeline_memory_footprint(
     ``in_flight`` overrides the per-stage in-flight minibatch count (used by
     the Figure 18 pipeline-depth sweep); by default it is the stage's 1F1B
     warmup depth.  Each stage is priced by :func:`stage_memory_bytes` at
-    that depth and its own replica count.
+    that depth, its own replica count, and its own recompute flag.
     """
+    if in_flight is not None and len(in_flight) != len(stages):
+        raise ValueError(
+            f"in_flight must have one entry per stage: expected "
+            f"{len(stages)}, got {len(in_flight)}")
     footprints = []
     for s, stage in enumerate(stages):
         depth = in_flight[s] if in_flight is not None else warmup_count(stages, s)
         footprints.append(
             stage_memory_bytes(profile, stage.start, stage.stop, depth,
-                               stage.replicas)
+                               stage.replicas, recompute=stage.recompute)
         )
     return footprints
 
 
 def data_parallel_memory_footprint(profile: ModelProfile) -> int:
     """Per-worker bytes under DP: full weights + one activation set."""
-    weights = profile.total_weight_bytes
-    activations = sum(l.activation_bytes for l in profile.layers)
+    num_layers = len(profile.layers)
+    weights = stage_weight_bytes(profile, 0, num_layers)
+    activations = stage_activation_bytes(profile, 0, num_layers)
     return weights + activations

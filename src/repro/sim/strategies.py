@@ -23,6 +23,7 @@ from repro.core.schedule import (
     gpipe_schedule,
     model_parallel_schedule,
     one_f_one_b_rr_schedule,
+    schedule_for_family,
 )
 from repro.core.topology import Topology
 from repro.sim.executor import SimOptions, SimResult, simulate
@@ -261,10 +262,17 @@ def simulate_partition(
     engine: str = "event",
     faults: Optional[FaultSchedule] = None,
     bucket_bytes: Optional[float] = None,
+    schedule_family: str = "1f1b",
 ) -> StrategyResult:
-    """Simulate an explicit PipeDream partition with the 1F1B-RR schedule."""
+    """Simulate an explicit PipeDream partition with the 1F1B-RR schedule.
+
+    ``schedule_family="2bp"`` splits every backward into grad-input and
+    grad-weight halves (:func:`schedule_for_family`); the default
+    ``"1f1b"`` runs the exact historical schedule object.
+    """
     stages = list(stages)
     schedule = one_f_one_b_rr_schedule(stages, num_minibatches, noam=noam)
+    schedule = schedule_for_family(schedule, schedule_family)
     sim = simulate(schedule, profile, topology,
                    SimOptions(sync_mode="pipedream", faults=faults,
                               bucket_bytes=bucket_bytes),
@@ -302,6 +310,9 @@ def simulate_pipedream(
     precision: Optional[str] = None,
     faults: Optional[FaultSchedule] = None,
     bucket_bytes: Optional[float] = None,
+    memory_limit_bytes: Optional[float] = None,
+    recompute: Optional[str] = None,
+    schedule_family: str = "1f1b",
 ) -> StrategyResult:
     """Run the optimizer, then simulate its chosen configuration.
 
@@ -314,7 +325,11 @@ def simulate_pipedream(
     worker count.  ``precision`` converts the profile first; combining it
     with a shared ``optimizer`` is an error when the conversion actually
     changes the profile (the optimizer's memoized tables would describe
-    the wrong payload sizes).
+    the wrong payload sizes).  Likewise ``memory_limit_bytes`` /
+    ``recompute`` configure the locally built optimizer, so they cannot
+    be combined with a shared one (pass them to its constructor instead).
+    ``schedule_family`` is forwarded to :func:`simulate_partition`; the
+    DP fallback has no pipeline bubbles to fill and ignores it.
     """
     converted = resolve_precision(profile, precision)
     if converted is not profile and optimizer is not None:
@@ -322,10 +337,17 @@ def simulate_pipedream(
             "a shared optimizer cannot be combined with a precision "
             "conversion; build the optimizer from the converted profile")
     profile = converted
+    if optimizer is not None and (memory_limit_bytes is not None
+                                  or recompute is not None):
+        raise ValueError(
+            "memory_limit_bytes/recompute configure the locally built "
+            "optimizer; pass them to the shared optimizer's constructor")
     if optimizer is None:
         optimizer = PipeDreamOptimizer(
             profile, topology, allow_replication=allow_replication,
             bucket_bytes=bucket_bytes,
+            memory_limit_bytes=memory_limit_bytes,
+            recompute=recompute,
         )
         plan = optimizer.solve()
     else:
@@ -349,7 +371,8 @@ def simulate_pipedream(
         )
     return simulate_partition(profile, topology, plan.stages, num_minibatches,
                               plan.noam, engine=engine, faults=faults,
-                              bucket_bytes=bucket_bytes)
+                              bucket_bytes=bucket_bytes,
+                              schedule_family=schedule_family)
 
 
 # ----------------------------------------------------------------------

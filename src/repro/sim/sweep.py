@@ -31,6 +31,7 @@ from repro.core.partition import (
     evaluate_partition_details,
 )
 from repro.core.profile import PRECISION_BYTES, ModelProfile
+from repro.core.schedule import SCHEDULE_FAMILIES
 from repro.core.topology import Topology
 from repro.profiler import analytic_profile
 from repro.sim.memory import pipeline_memory_footprint
@@ -97,6 +98,13 @@ class SweepRecord:
     detection_latency: float = 0.0
     replan_seconds: float = 0.0
     minibatches_lost: float = 0.0
+    #: Planner recompute policy the cell solved under (``None`` = stash
+    #: everything, the pre-recompute behaviour; ``"auto"`` = per-stage
+    #: checkpointing decision inside the refined DP, live only with a
+    #: memory cap) and the schedule family it simulated (``"1f1b"`` or the
+    #: backward-split ``"2bp"``).  Both default to the historical axes.
+    recompute: Optional[str] = None
+    schedule_family: str = "1f1b"
 
 
 @dataclass(frozen=True)
@@ -108,12 +116,20 @@ class SweepFailure:
     error: str
     precision: str = "fp32"
     bucket_bytes: Optional[float] = None
+    recompute: Optional[str] = None
+    schedule_family: str = "1f1b"
 
     def __str__(self) -> str:
-        if self.bucket_bytes is None:
-            return f"({self.model}, {self.strategy}, {self.precision}): {self.error}"
-        return (f"({self.model}, {self.strategy}, {self.precision}, "
-                f"bucket={self.bucket_bytes}): {self.error}")
+        extras = []
+        if self.bucket_bytes is not None:
+            extras.append(f"bucket={self.bucket_bytes}")
+        if self.recompute is not None:
+            extras.append(f"recompute={self.recompute}")
+        if self.schedule_family != "1f1b":
+            extras.append(f"family={self.schedule_family}")
+        tail = ", " + ", ".join(extras) if extras else ""
+        return (f"({self.model}, {self.strategy}, {self.precision}{tail}): "
+                f"{self.error}")
 
 
 class SweepError(RuntimeError):
@@ -184,6 +200,8 @@ def _run_cell(
     strategy: str,
     precision: str,
     bucket_bytes: Optional[float],
+    recompute: Optional[str],
+    schedule_family: str,
     topology: Topology,
     worker_counts: Sequence[int],
     device: str,
@@ -191,6 +209,7 @@ def _run_cell(
     engine: str,
     vectorize: bool,
     profile_cache: bool,
+    memory_limit_bytes: Optional[float] = None,
     contexts: Optional[SolverContextPool] = None,
 ) -> List[Optional[SweepRecord]]:
     """Run one (model, strategy, precision) cell over every worker count.
@@ -221,6 +240,8 @@ def _run_cell(
         PipeDreamOptimizer(
             profile, topology, vectorize=vectorize,
             bucket_bytes=bucket_bytes,
+            memory_limit_bytes=memory_limit_bytes,
+            recompute=recompute,
             context=None if contexts is None else contexts.get(profile),
         )
         if strategy == "pipedream" else None
@@ -235,6 +256,7 @@ def _run_cell(
         kwargs = {"engine": engine, "bucket_bytes": bucket_bytes}
         if optimizer is not None:
             kwargs["optimizer"] = optimizer
+            kwargs["schedule_family"] = schedule_family
         result: StrategyResult = STRATEGIES[strategy](
             profile, sub, minibatches, **kwargs)
         # Per-stage breakdowns of the simulated plan: the evaluator's
@@ -263,6 +285,8 @@ def _run_cell(
             allreduce_seconds=_plan_allreduce_seconds(
                 profile, result.stages, sub),
             bucket_bytes=bucket_bytes,
+            recompute=recompute,
+            schedule_family=schedule_family,
         ))
     return out
 
@@ -311,6 +335,9 @@ def run_sweep(
     on_error: str = "raise",
     precisions: Sequence[str] = ("fp32",),
     bucket_sizes: Sequence[Optional[float]] = (None,),
+    recomputes: Sequence[Optional[str]] = (None,),
+    schedule_families: Sequence[str] = ("1f1b",),
+    memory_limit_bytes: Optional[float] = None,
     contexts: Optional[SolverContextPool] = None,
 ) -> List[SweepRecord]:
     """Simulate every combination; skips worker counts that don't pack.
@@ -330,6 +357,18 @@ def run_sweep(
             payload bit for bit; adding byte caps (e.g. ``25e6``) plans and
             simulates each cell with DDP-style bucketed, backward-overlapped
             weight synchronization — the overlap comparison.
+        recomputes: planner recompute policies to sweep (``None`` and/or
+            ``"auto"``).  Only the pipedream strategy plans, so the axis
+            applies to pipedream cells alone; other strategies keep one
+            cell.  ``"auto"`` only changes plans under
+            ``memory_limit_bytes`` — without a cap it is normalized to the
+            stash-everything default (bitwise-identical records).
+        schedule_families: pipeline schedule families to sweep (``"1f1b"``
+            and/or ``"2bp"``), again a pipedream-only axis.  The default
+            single-``"1f1b"`` axis reproduces the historical sweep bit for
+            bit.
+        memory_limit_bytes: per-worker §3.3 cap handed to every pipedream
+            cell's planner (``None`` = uncapped, the historical default).
         executor: ``"process"`` (default) or ``"thread"`` pool for
             ``workers > 1``; ``"serial"`` forces the in-process loop, and
             ``"auto"`` picks: serial for a single task, threads on small
@@ -368,17 +407,40 @@ def run_sweep(
     for cap in bucket_sizes:
         if cap is not None and cap <= 0:
             raise ValueError(f"bucket size must be positive or None, got {cap}")
+    for policy in recomputes:
+        if policy not in (None, "auto"):
+            raise ValueError(
+                f"recompute policy must be None or 'auto', got {policy!r}")
+    unknown_families = set(schedule_families) - set(SCHEDULE_FAMILIES)
+    if unknown_families:
+        raise ValueError(
+            f"unknown schedule families: {sorted(unknown_families)}; "
+            f"expected one of {SCHEDULE_FAMILIES}")
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
     if on_error not in ("raise", "skip"):
         raise ValueError(f"unknown on_error {on_error!r}; expected 'raise' or 'skip'")
     worker_counts = list(worker_counts)
+
+    def cell_axes(strategy: str) -> List[Tuple[Optional[str], str]]:
+        """The (recompute, schedule_family) axis of one strategy's cells.
+
+        Only pipedream plans and runs 1F1B-family schedules, so the other
+        strategies keep their single historical cell instead of sprouting
+        duplicate rows per axis value.
+        """
+        if strategy == "pipedream":
+            return [(policy, family)
+                    for policy in recomputes for family in schedule_families]
+        return [(None, "1f1b")]
+
     cells = [
-        (model, strategy, precision, bucket)
+        (model, strategy, precision, bucket, policy, family)
         for model in models
         for strategy in strategies
         for precision in precisions
         for bucket in bucket_sizes
+        for policy, family in cell_axes(strategy)
     ]
 
     resolved = _resolve_executor(
@@ -386,9 +448,10 @@ def run_sweep(
     )
     if workers <= 1 or len(cells) <= 1 or resolved == "serial":
         cell_args = [
-            (model, strategy, precision, bucket, topology, worker_counts,
-             device, minibatches, engine, vectorize, profile_cache, contexts)
-            for model, strategy, precision, bucket in cells
+            (model, strategy, precision, bucket, policy, family, topology,
+             worker_counts, device, minibatches, engine, vectorize,
+             profile_cache, memory_limit_bytes, contexts)
+            for model, strategy, precision, bucket, policy, family in cells
         ]
         outcomes = [_run_cell_guarded(args) for args in cell_args]
     else:
@@ -408,10 +471,11 @@ def run_sweep(
             subtask_contexts = contexts or SolverContextPool()
         subtasks = [
             (cell_index, count_index,
-             (model, strategy, precision, bucket, topology, [count], device,
-              minibatches, engine, vectorize, profile_cache,
-              subtask_contexts))
-            for cell_index, (model, strategy, precision, bucket) in enumerate(cells)
+             (model, strategy, precision, bucket, policy, family, topology,
+              [count], device, minibatches, engine, vectorize, profile_cache,
+              memory_limit_bytes, subtask_contexts))
+            for cell_index, (model, strategy, precision, bucket, policy,
+                             family) in enumerate(cells)
             for count_index, count in enumerate(worker_counts)
         ]
         subtasks.sort(key=lambda task: -worker_counts[task[1]])
@@ -441,29 +505,34 @@ def run_sweep(
             for index in range(len(cells))
         ]
 
-    by_cell: Dict[Tuple[str, str, str, Optional[float]],
+    by_cell: Dict[Tuple[str, str, str, Optional[float], Optional[str], str],
                   List[Optional[SweepRecord]]] = {}
     failures: List[SweepFailure] = []
-    for (model, strategy, precision, bucket), (cell_records, error) in zip(
-        cells, outcomes
-    ):
+    for (model, strategy, precision, bucket, policy, family), (
+        cell_records, error
+    ) in zip(cells, outcomes):
         if error is not None:
             failures.append(
-                SweepFailure(model, strategy, error, precision, bucket))
+                SweepFailure(model, strategy, error, precision, bucket,
+                             policy, family))
             cell_records = [None] * len(worker_counts)
-        by_cell[(model, strategy, precision, bucket)] = cell_records
+        by_cell[(model, strategy, precision, bucket, policy, family)] = cell_records
 
     # Serial iteration order: model-major, then worker count, then
-    # strategy, then precision, then bucket size.
+    # strategy, then precision, then bucket size, then the pipedream-only
+    # (recompute, schedule family) axes.
     records: List[SweepRecord] = []
     for model in models:
         for idx in range(len(worker_counts)):
             for strategy in strategies:
                 for precision in precisions:
                     for bucket in bucket_sizes:
-                        record = by_cell[(model, strategy, precision, bucket)][idx]
-                        if record is not None:
-                            records.append(record)
+                        for policy, family in cell_axes(strategy):
+                            record = by_cell[
+                                (model, strategy, precision, bucket,
+                                 policy, family)][idx]
+                            if record is not None:
+                                records.append(record)
 
     if failures and on_error == "raise":
         raise SweepError(failures, records)

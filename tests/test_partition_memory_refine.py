@@ -27,6 +27,7 @@ This file covers:
   feasible set.
 """
 
+import itertools
 import math
 
 import pytest
@@ -453,6 +454,145 @@ class TestSupersetInvariant:
         profile = build_profile(spec).with_precision(2)
         assert profile.bytes_per_element == 2
         self.check_invariant(profile, workers, limit_scale)
+
+
+class TestRecomputeMaskInvariant:
+    """The superset invariant extends over per-stage recompute masks:
+
+        bound-admitted (recompute-auto)  ⊇  refined-admitted  =
+        footprint-feasible
+
+    for *every* plan in the plan space under *every* recompute mask.  The
+    recompute-auto phase-1 floor prices a layer at depth *boundary* sets
+    (zero at the floor) plus one full set — a relaxation of both recompute
+    modes — so no mask can make a footprint-feasible plan bound-pruned.
+    Alongside, the kernel-level property that recompute-on never prices
+    above recompute-off (the clamp) is checked at every (stage, depth).
+    """
+
+    @staticmethod
+    def check_invariant(profile, workers, limit_scale):
+        topo = make_cluster("fuzz", workers, 1, 40.0, 40.0)
+        model_bytes = sum(
+            l.weight_bytes + l.activation_bytes for l in profile.layers
+        )
+        limit = max(1.0, limit_scale * model_bytes)
+        auto_opt = PipeDreamOptimizer(
+            profile, topo, memory_limit_bytes=limit, recompute="auto"
+        )
+        n = len(profile)
+        for stages in _all_plans(n, workers):
+            for mask in itertools.product((False, True), repeat=len(stages)):
+                masked = [
+                    Stage(s.start, s.stop, s.replicas, recompute=flag)
+                    for s, flag in zip(stages, mask)
+                ]
+                foot = pipeline_memory_footprint(profile, masked)
+                for s, stage in enumerate(masked):
+                    depth = warmup_count(masked, s)
+                    # refined-admitted = footprint-feasible: the mask value
+                    # is the kernel at the exact depth with the same flag.
+                    assert stage_memory_bytes(
+                        profile, stage.start, stage.stop, depth,
+                        stage.replicas, recompute=stage.recompute,
+                    ) == foot[s]
+                    # The clamp: checkpointing never costs more bytes.
+                    assert stage_memory_bytes(
+                        profile, stage.start, stage.stop, depth,
+                        stage.replicas, recompute=True,
+                    ) <= stage_memory_bytes(
+                        profile, stage.start, stage.stop, depth,
+                        stage.replicas, recompute=False,
+                    )
+                if max(foot) <= limit:
+                    # bound ⊇ footprint-feasible, whatever the mask.
+                    for stage in masked:
+                        assert auto_opt._memory_ok(
+                            stage.start, stage.stop - 1)
+
+    @given(
+        spec=st.lists(
+            st.tuples(
+                st.floats(0.05, 10.0, allow_nan=False),
+                st.integers(0, 100_000),
+                st.integers(0, 1_000_000),
+                st.sampled_from(["conv", "fc", "lstm", "embedding"]),
+            ),
+            min_size=2,
+            max_size=4,
+        ),
+        workers=st.integers(2, 3),
+        limit_scale=st.floats(0.05, 6.0, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_invariant_over_recompute_masks(self, spec, workers, limit_scale):
+        self.check_invariant(build_profile(spec), workers, limit_scale)
+
+
+class TestRecomputeBoundaryDepthAudit:
+    """ISSUE 9 satellite: warmup-depth accounting at the recompute boundary.
+
+    A recompute-on stage stashes ``depth`` *boundary* activation sets plus
+    at most one full set (the live recompute buffer) — never ``depth``
+    full sets — and the phase-1 bound matrix must agree with the refined
+    mask on that, or the superset invariant breaks exactly at recompute-on
+    stages.
+    """
+
+    def _profile(self):
+        # Heavy interior activations behind a thin boundary: the shape
+        # where checkpointing pays.
+        layers = [
+            LayerProfile("thin", 1.0, 10, 10),
+            LayerProfile("fat", 1.0, 1000, 10),
+            LayerProfile("tail", 1.0, 10, 10),
+        ]
+        return ModelProfile("toy", layers, batch_size=1)
+
+    def test_kernel_prices_boundary_sets_plus_one_buffer(self):
+        profile = self._profile()
+        # Stage [1, 2) at depth 4: boundary (layer 0's output) is 10 bytes.
+        # Off: 10 weights*4 + 1000*4 acts.  On: 10*4 + 10*4 boundary sets
+        # + one 1000-byte live buffer — not 4 full sets.
+        assert stage_memory_bytes(profile, 1, 2, 4, recompute=False) == \
+            10 * 4 + 1000 * 4
+        assert stage_memory_bytes(profile, 1, 2, 4, recompute=True) == \
+            10 * 4 + 10 * 4 + 1000
+
+    def test_kernel_clamps_recompute_at_stash_everything(self):
+        """When the boundary is no thinner than the interior, recompute
+        saves nothing and the kernel clamps it to the stash price."""
+        layers = [
+            LayerProfile("fat", 1.0, 1000, 0),
+            LayerProfile("thin", 1.0, 10, 0),
+        ]
+        profile = ModelProfile("toy", layers, batch_size=1)
+        on = stage_memory_bytes(profile, 1, 2, 4, recompute=True)
+        off = stage_memory_bytes(profile, 1, 2, 4, recompute=False)
+        assert on == off == 40
+
+    def test_bound_floor_agrees_with_refined_recompute_mask(self):
+        """Regression for the audit: had the auto floor priced depth
+        *full* sets, phase 1 would prune the span below even though its
+        recompute-on mask value fits the cap."""
+        profile = self._profile()
+        topo = make_cluster("flat3", 3, 1, 1000.0, 1000.0)
+        limit = 1500.0
+        auto = PipeDreamOptimizer(
+            profile, topo, memory_limit_bytes=limit, recompute="auto")
+        default = PipeDreamOptimizer(
+            profile, topo, memory_limit_bytes=limit)
+        # Depth-2 mask values for span [1, 2): stash-everything busts the
+        # cap, checkpointing fits.
+        assert stage_memory_bytes(profile, 1, 2, 2, recompute=False) > limit
+        on_cost = stage_memory_bytes(profile, 1, 2, 2, recompute=True)
+        assert on_cost <= limit
+        # The auto floor admits the span and sits at or below the mask
+        # (bound-admitted ⊇ refined-admitted); the default floor — no
+        # recompute available — correctly prunes it.
+        assert auto._memory_ok(1, 1)
+        assert auto._bound_matrix()[1][1] <= on_cost
+        assert not default._memory_ok(1, 1)
 
 
 class TestPrecisionMemoryShift:
