@@ -495,3 +495,83 @@ def bucketed_overlap():
             "makespan_speedup": {"value": makespan_speedup, "min": 1.015},
         },
     }
+
+
+@workload("hybrid_3d_plan_gnmt16")
+def hybrid_3d_plan():
+    """Tensor parallelism as the third planning axis, GNMT-16 @ 8w.
+
+    The pinned feasibility shift: on a flat 8-worker cluster under a
+    475.1 MB/worker cap no pure ``(stages, replicas)`` plan fits — the
+    attention stage's footprint busts the cap at every 2D cell — while
+    the ``tp_degrees=(1, 2)`` menu recovers a plan by sharding the tail
+    across a 2-way tensor-parallel group.  Gates: the recovered plan
+    carries at least one tp>1 stage and fits the cap; the scalar twin
+    and a warm-started solve are bitwise identical to the vectorized
+    cold solve; both sim engines agree on the hybrid timeline.  The
+    tracked number is the 3D solve plus the simulation, and the solve
+    itself is held to an absolute wall-clock ceiling.
+    """
+    from repro.core.partition import SolverContext
+    from repro.core.topology import Topology, TopologyLevel
+
+    profile = analytic_profile("gnmt16")
+    topology = Topology("flat8", [TopologyLevel(8, 25e9)])
+    limit = 475.1e6
+    menu = (1, 2)
+
+    try:
+        PipeDreamOptimizer(
+            profile, topology, memory_limit_bytes=limit).solve()
+        tp1_infeasible = False
+    except RuntimeError:
+        tp1_infeasible = True
+    plan = PipeDreamOptimizer(
+        profile, topology, memory_limit_bytes=limit, tp_degrees=menu,
+    ).solve()
+    scalar = PipeDreamOptimizer(
+        profile, topology, memory_limit_bytes=limit, tp_degrees=menu,
+        vectorize=False,
+    ).solve()
+    warm = PipeDreamOptimizer(
+        profile, topology, memory_limit_bytes=limit, tp_degrees=menu,
+        context=SolverContext(profile),
+    ).solve()
+    tp_stage_count = sum(1 for s in plan.stages if s.tp_degree > 1)
+
+    event = simulate_partition(profile, topology, plan.stages,
+                               num_minibatches=32)
+    reference = simulate_partition(profile, topology, plan.stages,
+                                   num_minibatches=32, engine="reference")
+
+    def run():
+        hybrid = PipeDreamOptimizer(
+            profile, topology, memory_limit_bytes=limit, tp_degrees=menu,
+        ).solve()
+        simulate_partition(profile, topology, hybrid.stages,
+                           num_minibatches=32)
+
+    seconds = best_of(run)
+    return seconds, {
+        "workers": 8,
+        "memory_limit_mb": limit / 1e6,
+        "config": plan.config_string,
+        "tp1_infeasible": tp1_infeasible,
+        "within_limit": max(plan.memory_bytes) <= limit,
+        "scalar_twin_identical": (
+            scalar.stages == plan.stages
+            and scalar.slowest_stage_time == plan.slowest_stage_time
+        ),
+        "warm_identical_to_cold": (
+            warm.stages == plan.stages
+            and warm.slowest_stage_time == plan.slowest_stage_time
+        ),
+        "engines_identical": (
+            event.sim.records == reference.sim.records
+            and event.sim.total_time == reference.sim.total_time
+        ),
+        "gated_bounds": {
+            "tp_stage_count": {"value": tp_stage_count, "min": 1},
+            "solve_seconds": {"value": plan.solve_seconds, "max": 1.0},
+        },
+    }

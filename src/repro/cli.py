@@ -98,13 +98,18 @@ def cmd_plan(args) -> int:
     result = PipeDreamOptimizer(
         profile, topology, bucket_bytes=args.bucket_bytes,
         memory_limit_bytes=args.memory_limit_bytes,
-        recompute=args.recompute).solve()
+        recompute=args.recompute,
+        tp_degrees=args.tp_degrees).solve()
     plan = DeploymentPlan.from_partition(result)
     print(plan.describe())
     if any(s.recompute for s in result.stages):
         flagged = [str(i) for i, s in enumerate(result.stages) if s.recompute]
         print(f"recompute (activation checkpointing) on stage(s): "
               f"{', '.join(flagged)}")
+    if any(s.tp_degree > 1 for s in result.stages):
+        sharded = [f"{i}:{s.tp_degree}" for i, s in enumerate(result.stages)
+                   if s.tp_degree > 1]
+        print(f"tensor parallelism (stage:degree): {', '.join(sharded)}")
     print(f"config: {result.config_string}   "
           f"bottleneck: {result.slowest_stage_time * 1e3:.2f} ms/minibatch   "
           f"solved in {result.solve_seconds * 1e3:.0f} ms")
@@ -156,13 +161,18 @@ def cmd_simulate(args) -> int:
             print("--schedule-family 2bp requires --strategy pipedream",
                   file=sys.stderr)
             return 2
+        if args.tp_degrees is not None and args.strategy != "pipedream":
+            print("--tp-degrees requires --strategy pipedream",
+                  file=sys.stderr)
+            return 2
         drivers = {
             "pipedream": lambda: simulate_pipedream(
                 profile, topology, num_minibatches=args.minibatches,
                 faults=faults, bucket_bytes=args.bucket_bytes,
                 memory_limit_bytes=args.memory_limit_bytes,
                 recompute=args.recompute,
-                schedule_family=args.schedule_family),
+                schedule_family=args.schedule_family,
+                tp_degrees=args.tp_degrees),
             "dp": lambda: simulate_data_parallel(
                 profile, topology,
                 num_minibatches=max(4, args.minibatches // 4), faults=faults,
@@ -204,6 +214,7 @@ def cmd_sweep(args) -> int:
         recomputes=tuple(args.recomputes),
         schedule_families=tuple(args.schedule_families),
         memory_limit_bytes=args.memory_limit_bytes,
+        tp_degrees=args.tp_degrees,
     )
     rows = [
         [r.model, str(r.workers), r.strategy, r.precision,
@@ -335,6 +346,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="'auto' lets the planner turn activation "
                         "checkpointing on per stage when the memory cap "
                         "demands it (requires --memory-limit-bytes)")
+    p.add_argument("--tp-degrees", type=int, nargs="+", default=None,
+                   metavar="T",
+                   help="tensor-parallel degrees the planner may assign per "
+                        "stage (e.g. 1 2 4); omit for the pure 2D planner")
     p.add_argument("--json", help="write the deployment plan to this file")
     p.set_defaults(func=cmd_plan)
 
@@ -358,6 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["1f1b", "2bp"],
                    help="pipeline schedule family: classic 1F1B or the "
                         "backward-split 2BP (pipedream strategy only)")
+    p.add_argument("--tp-degrees", type=int, nargs="+", default=None,
+                   metavar="T",
+                   help="tensor-parallel degrees the pipedream planner may "
+                        "assign per stage (pipedream strategy only)")
     p.add_argument("--faults", default="",
                    help="fault spec: 'crash@T:wK', 'slow@T:wK:xF:dD', "
                         "'bw@T:xF:dD[:wK][:lL]' (comma-joined), or "
@@ -390,6 +409,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="schedule families to sweep (pipedream cells)")
     p.add_argument("--memory-limit-bytes", type=float, default=None,
                    help="per-worker memory cap for pipedream cells")
+    p.add_argument("--tp-degrees", type=int, nargs="+", default=None,
+                   metavar="T",
+                   help="tensor-parallel degrees pipedream cells may assign "
+                        "per stage")
     p.add_argument("--device", default="v100",
                    choices=["v100", "1080ti", "titanx"])
     p.add_argument("--minibatches", type=int, default=48)

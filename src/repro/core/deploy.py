@@ -29,6 +29,10 @@ class WorkerAssignment:
     replica: int
     layer_start: int
     layer_stop: int
+    #: Size of the tensor-parallel group this worker shards within (1 = the
+    #: historical unsharded worker) and its rank inside that group.
+    tp_degree: int = 1
+    tp_rank: int = 0
 
 
 @dataclass
@@ -57,10 +61,13 @@ class DeploymentPlan:
         worker = 0
         for s, stage in enumerate(result.stages):
             for q in range(stage.replicas):
-                assignments.append(
-                    WorkerAssignment(worker, s, q, stage.start, stage.stop)
-                )
-                worker += 1
+                for rank in range(stage.tp_degree):
+                    assignments.append(
+                        WorkerAssignment(worker, s, q, stage.start, stage.stop,
+                                         tp_degree=stage.tp_degree,
+                                         tp_rank=rank)
+                    )
+                    worker += 1
         return cls(
             model_name=result.profile.model_name,
             stages=list(result.stages),
@@ -103,7 +110,9 @@ class DeploymentPlan:
         for s, stage in enumerate(self.stages):
             span = f"{self.layer_names[stage.start]}..{self.layer_names[stage.stop - 1]}"
             workers = self.workers_for_stage(s)
-            lines.append(f"  stage {s}: layers {span} x{stage.replicas} "
+            width = (f"x{stage.replicas}" if stage.tp_degree == 1
+                     else f"x{stage.replicas}x{stage.tp_degree}tp")
+            lines.append(f"  stage {s}: layers {span} {width} "
                          f"on workers {workers}")
         return "\n".join(lines)
 
@@ -116,17 +125,25 @@ class DeploymentPlan:
             "noam": self.noam,
             "layer_names": self.layer_names,
             "stages": [
-                {"start": s.start, "stop": s.stop, "replicas": s.replicas}
+                # tp_degree is emitted only when sharded, so every
+                # pre-tensor-parallel plan serializes byte-identically.
+                dict({"start": s.start, "stop": s.stop,
+                      "replicas": s.replicas},
+                     **({"tp_degree": s.tp_degree} if s.tp_degree > 1 else {}))
                 for s in self.stages
             ],
             "assignments": [
-                {
-                    "worker": a.worker,
-                    "stage": a.stage,
-                    "replica": a.replica,
-                    "layer_start": a.layer_start,
-                    "layer_stop": a.layer_stop,
-                }
+                dict(
+                    {
+                        "worker": a.worker,
+                        "stage": a.stage,
+                        "replica": a.replica,
+                        "layer_start": a.layer_start,
+                        "layer_stop": a.layer_stop,
+                    },
+                    **({"tp_degree": a.tp_degree, "tp_rank": a.tp_rank}
+                       if a.tp_degree > 1 else {})
+                )
                 for a in self.assignments
             ],
         }
@@ -136,7 +153,11 @@ class DeploymentPlan:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "DeploymentPlan":
-        stages = [Stage(s["start"], s["stop"], s["replicas"]) for s in data["stages"]]
+        stages = [
+            Stage(s["start"], s["stop"], s["replicas"],
+                  tp_degree=s.get("tp_degree", 1))
+            for s in data["stages"]
+        ]
         assignments = [WorkerAssignment(**a) for a in data["assignments"]]
         return cls(
             model_name=data["model_name"],

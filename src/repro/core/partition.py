@@ -33,6 +33,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.profile import ModelProfile
+from repro.core.sharding import SHARDABLE_KINDS, validate_tp_degrees
 from repro.core.topology import Topology, TopologyLevel
 from repro.utils.lru import LRUCache
 
@@ -56,22 +57,35 @@ class Stage:
     input-boundary activations per in-flight minibatch and rebuilds the
     interior during backward, trading memory for one extra forward pass
     (the planner sets this per stage under ``recompute="auto"``).
+    ``tp_degree`` is the intra-layer tensor-parallel degree: each of the
+    ``replicas`` logical replicas is realized by ``tp_degree`` consecutive
+    physical workers holding a shard of the stage's shardable layers (see
+    :mod:`repro.core.sharding`), so the stage occupies
+    ``replicas * tp_degree`` workers in total.
     """
 
     start: int
     stop: int
     replicas: int
     recompute: bool = False
+    tp_degree: int = 1
 
     def __post_init__(self):
         if self.stop <= self.start:
             raise ValueError("stage must contain at least one layer")
         if self.replicas < 1:
             raise ValueError("stage needs at least one replica")
+        if self.tp_degree < 1:
+            raise ValueError("stage needs a tensor-parallel degree >= 1")
 
     @property
     def num_layers(self) -> int:
         return self.stop - self.start
+
+    @property
+    def workers(self) -> int:
+        """Physical workers the stage occupies (replicas x tp shards)."""
+        return self.replicas * self.tp_degree
 
 
 @dataclass
@@ -101,21 +115,36 @@ class PartitionResult:
     @property
     def is_straight(self) -> bool:
         """A straight pipeline has one worker per stage, no replication."""
-        return all(stage.replicas == 1 for stage in self.stages) and len(self.stages) > 1
+        return (
+            all(stage.replicas == 1 for stage in self.stages)
+            and all(stage.tp_degree == 1 for stage in self.stages)
+            and len(self.stages) > 1
+        )
 
     @property
     def config_string(self) -> str:
-        """Paper-style name: "15-1", "straight", "16" (pure DP), etc."""
+        """Paper-style name: "15-1", "straight", "16" (pure DP), etc.
+
+        Tensor-parallel stages render as ``{replicas}x{tp_degree}`` (e.g.
+        "4x2-1"); plans without tp keep the historical byte-exact strings.
+        """
         if self.is_data_parallel:
             return str(self.num_workers)
         if self.is_straight:
             return "straight"
-        return "-".join(str(stage.replicas) for stage in self.stages)
+        return "-".join(
+            str(stage.replicas) if stage.tp_degree == 1
+            else f"{stage.replicas}x{stage.tp_degree}"
+            for stage in self.stages
+        )
 
     @property
     def noam(self) -> int:
-        """NUM_OPT_ACTIVE_MINIBATCHES = ceil(workers / input-stage replicas)."""
-        return max(1, math.ceil(self.num_workers / self.stages[0].replicas))
+        """NUM_OPT_ACTIVE_MINIBATCHES = ceil(workers / input-stage workers)."""
+        return max(1, math.ceil(
+            self.num_workers
+            / (self.stages[0].replicas * self.stages[0].tp_degree)
+        ))
 
     @property
     def predicted_throughput(self) -> float:
@@ -323,6 +352,20 @@ class PipeDreamOptimizer:
             stash-everything busts the cap and checkpointing fits.
             Requires ``memory_refine`` (the decision lives in the
             depth-aware pass); without a memory limit it never triggers.
+        tp_degrees: menu of intra-layer tensor-parallel degrees the DP may
+            assign per stage (always includes 1).  ``None`` (default) keeps
+            the two-axis planner — every path is bitwise identical to the
+            tp-free solver.  With e.g. ``(1, 2, 4)`` the refined suffix DP
+            enumerates ``(replicas, tp_degree)`` cells (``tp_degree`` must
+            divide the stage's worker count) and the level DP shards
+            level-1 stages: a tp group of ``t`` consecutive workers holds a
+            shard of every shardable layer (:mod:`repro.core.sharding`),
+            dividing the shardable compute/weight/activation share by ``t``
+            while pricing the intra-stage boundary-activation collectives
+            (allgather forward, reduce-scatter backward ≡ one ring
+            all_reduce each) with the same collective model the
+            data-parallel sync uses.  Incompatible with ``bucket_bytes``
+            (sharded-gradient bucketing is not modeled).
     """
 
     def __init__(
@@ -336,6 +379,7 @@ class PipeDreamOptimizer:
         context: Optional[SolverContext] = None,
         bucket_bytes: Optional[float] = None,
         recompute: Optional[str] = None,
+        tp_degrees: Optional[Sequence[int]] = None,
     ):
         self.profile = profile
         self.topology = topology
@@ -363,6 +407,20 @@ class PipeDreamOptimizer:
         if bucket_bytes is not None and bucket_bytes <= 0:
             raise ValueError("bucket_bytes must be positive")
         self.bucket_bytes = None if bucket_bytes is None else float(bucket_bytes)
+        #: Normalized tp-degree menu; ``(1,)`` ≡ disabled.  Normalizing
+        #: ``tp_degrees=(1,)`` (and ``()``) to disabled keeps those calls
+        #: in the default cache namespace — bitwise-identical tables,
+        #: shared context entries (same idiom as ``_recompute_auto``).
+        self._tp_options = (
+            (1,) if tp_degrees is None else validate_tp_degrees(tp_degrees)
+        )
+        self._tp_enabled = self._tp_options != (1,)
+        self.tp_degrees = self._tp_options if self._tp_enabled else None
+        if self._tp_enabled and self.bucket_bytes is not None:
+            raise ValueError(
+                "tp_degrees cannot be combined with bucket_bytes: "
+                "bucketing of sharded gradients is not modeled"
+            )
         self._bucket_table_cache: Optional[List[List[int]]] = None
         self._bucket_matrix_cache = None
         if context is not None and not context.matches(profile):
@@ -394,6 +452,12 @@ class PipeDreamOptimizer:
             self.bucket_bytes,
             "auto" if self._recompute_auto else None,
         )
+        # The tp component is appended only when the axis is live, so
+        # every historical (tp-free) key stays byte-identical and tp
+        # solves can never collide with two-axis entries in a shared
+        # context (tests/test_solver_context.py pins both directions).
+        if self._tp_enabled:
+            self._cache_ns = self._cache_ns + (("tp", self._tp_options),)
         #: level-table memo for the vectorized DP, keyed by the namespace
         #: plus the (count, bandwidth, allreduce_bandwidth) tuple of every
         #: level up to and including the one the table belongs to.  Subset
@@ -427,6 +491,28 @@ class PipeDreamOptimizer:
             self._prefix_recurrent.append(self._prefix_recurrent[-1] + recurrent)
             self._prefix_acts.append(self._prefix_acts[-1] + layer.activation_bytes)
             self._prefix_backward.append(self._prefix_backward[-1] + layer.backward)
+        if self._tp_enabled:
+            # Shardable-share prefix sums (device-adjusted, like the ones
+            # above) — what a tp degree divides; the complement stays
+            # replicated across the tp group.
+            self._prefix_shard_time = [0.0]
+            self._prefix_shard_weights = [0.0]
+            self._prefix_shard_acts = [0.0]
+            self._prefix_shard_backward = [0.0]
+            for layer in profile:
+                shardable = layer.kind in SHARDABLE_KINDS
+                self._prefix_shard_time.append(
+                    self._prefix_shard_time[-1]
+                    + (layer.compute_time if shardable else 0.0))
+                self._prefix_shard_weights.append(
+                    self._prefix_shard_weights[-1]
+                    + (layer.weight_bytes if shardable else 0))
+                self._prefix_shard_acts.append(
+                    self._prefix_shard_acts[-1]
+                    + (layer.activation_bytes if shardable else 0))
+                self._prefix_shard_backward.append(
+                    self._prefix_shard_backward[-1]
+                    + (layer.backward if shardable else 0.0))
 
     # ------------------------------------------------------------------
     # Range helpers
@@ -453,6 +539,20 @@ class PipeDreamOptimizer:
         """Input-boundary activation bytes of a stage starting at layer ``j``
         (what a recompute-on stage stashes per in-flight minibatch)."""
         return self._prefix_acts[j] - self._prefix_acts[j - 1] if j > 0 else 0.0
+
+    def _shard_time(self, i: int, j: int) -> float:
+        """Shardable compute seconds of layers i..j inclusive."""
+        return self._prefix_shard_time[j + 1] - self._prefix_shard_time[i]
+
+    def _shard_weights(self, i: int, j: int) -> float:
+        return self._prefix_shard_weights[j + 1] - self._prefix_shard_weights[i]
+
+    def _shard_acts(self, i: int, j: int) -> float:
+        return self._prefix_shard_acts[j + 1] - self._prefix_shard_acts[i]
+
+    def _shard_backward(self, i: int, j: int) -> float:
+        return (self._prefix_shard_backward[j + 1]
+                - self._prefix_shard_backward[i])
 
     def _bucket_count(self, i: int, j: int) -> int:
         """Streamable collectives per round for span i..j inclusive.
@@ -532,6 +632,11 @@ class PipeDreamOptimizer:
                 ("refined", "recompute") if self._recompute_auto
                 else ("refined",)
             )
+            # The tp floor (shardable terms divided by the max degree)
+            # also lowers values; the component is appended only when the
+            # axis is live so tp-free keys stay byte-identical.
+            if self._tp_enabled:
+                ctx_key = ctx_key + ("tp", self._tp_options[-1])
         else:
             ctx_key = ("bound", max(1, self.topology.total_workers))
         if self.context is not None:
@@ -551,6 +656,7 @@ class PipeDreamOptimizer:
                 for layer in layers
             ]
             recompute_floor = self._recompute_auto
+            tp_floor = self._tp_options[-1] if self._tp_enabled else 1
 
             def cost_at(l: int, depth: int) -> float:
                 # With recompute available the optimistic floor is the
@@ -561,7 +667,21 @@ class PipeDreamOptimizer:
                 # so this floor relaxes the default one and the superset
                 # invariant extends to recompute masks (ISSUE 9 satellite:
                 # depth boundary sets + one full buffer, never depth full
-                # sets).
+                # sets).  With tp enabled, a shardable layer's floor
+                # divides its weight/activation bytes by the *largest*
+                # degree on the menu — the kernel is non-increasing in
+                # tp_degree, so the floor relaxes further and the superset
+                # invariant extends to tp assignments.
+                if tp_floor > 1 and layers[l].kind in SHARDABLE_KINDS:
+                    return float(kernel(
+                        layers[l].weight_bytes, deferred[l],
+                        layers[l].activation_bytes, depth, depth,
+                        recompute=recompute_floor,
+                        boundary_activation_bytes=0,
+                        tp_degree=tp_floor,
+                        shardable_weight_bytes=layers[l].weight_bytes,
+                        shardable_activation_bytes=layers[l].activation_bytes,
+                    ))
                 return float(kernel(
                     layers[l].weight_bytes, deferred[l],
                     layers[l].activation_bytes, depth, depth,
@@ -773,13 +893,16 @@ class PipeDreamOptimizer:
                 self.context._bump("level_hits")
             return cached[0]
         coeffs, link_bw, lats = self._comm_tables_for(topology, sig)
+        tp_tables = (
+            self._tp_tables_for(topology, sig) if self._tp_enabled else None
+        )
         if self.vectorize:
             stages = self._solve_refined_vectorized(
-                topology, coeffs, link_bw, lats
+                topology, coeffs, link_bw, lats, tp_tables
             )
         else:
             stages = self._solve_refined_reference(
-                topology, coeffs, link_bw, lats
+                topology, coeffs, link_bw, lats, tp_tables
             )
         self._level_cache[cache_key] = (stages,)
         if self.context is not None:
@@ -805,7 +928,88 @@ class PipeDreamOptimizer:
         self.context._bump("comm_misses")
         return tables
 
-    def _refined_row_keys(self, W: int, coeffs, link_bw, lats) -> List[tuple]:
+    def _tp_tables_for(self, topology: Topology, sig: tuple):
+        """:meth:`_refined_tp_tables`, shared through the context.
+
+        Keyed separately from the two-axis comm tables (the ``"tp"`` tag
+        plus the degree menu) so tp and tp-free solves can never hand each
+        other tables of the wrong shape."""
+        if self.context is None:
+            return self._refined_tp_tables(topology)
+        key = ("tp", sig, self._tp_options)
+        cached = self.context.comm_tables.get(key)
+        if cached is not None:
+            self.context._bump("comm_hits")
+            return cached
+        tables = self._refined_tp_tables(topology)
+        self.context.comm_tables[key] = tables
+        self.context._bump("comm_misses")
+        return tables
+
+    def _refined_tp_tables(self, topology: Topology):
+        """Placement-exact collective factors for tensor-parallel cells.
+
+        For each degree ``t`` on the menu and each ``(m, mp)`` suffix cell
+        with ``t | mp``, the stage occupies the contiguous physical span
+        ``[W-m, W-m+mp-1]`` packed as ``r = mp/t`` replicas of ``t``
+        consecutive shards.  Two collectives price differently from the
+        two-axis planner's fused contiguous group, and *must not* be fused
+        (the mixed dp×tp span fix):
+
+        - the data-parallel sync runs per shard group over the *strided*
+          representative ids ``{W-m+q*t}`` — its ring only pays the setup
+          latency α of the levels that strided group actually crosses;
+        - the intra-stage boundary collectives ring over each replica's
+          ``t`` *consecutive* shards; the per-cell factor takes the
+          elementwise max over the ``r`` groups (the round ends with the
+          slowest one, e.g. the group straddling a machine boundary).
+
+        Both are computed through :func:`repro.sim.network.Placement` +
+        :func:`repro.sim.network.allreduce_cost_factors`, i.e. literally
+        the simulator's pricing, so the planner, evaluator, and both sim
+        engines agree on the per-level α accounting.  Returns
+        ``{t: (dp_coeff, dp_lat, tp_coeff, tp_lat)}`` tables indexed
+        ``[m][mp]``.
+        """
+        from repro.sim.network import Placement, allreduce_cost_factors
+
+        placement = Placement(topology)
+        W = topology.total_workers
+        tables = {}
+        for t in self._tp_options:
+            if t == 1:
+                continue
+            dp_c = [[0.0] * (m + 1) for m in range(W + 1)]
+            dp_l = [[0.0] * (m + 1) for m in range(W + 1)]
+            tp_c = [[0.0] * (m + 1) for m in range(W + 1)]
+            tp_l = [[0.0] * (m + 1) for m in range(W + 1)]
+            for m in range(t, W + 1):
+                first = W - m
+                for mp in range(t, m + 1, t):
+                    r = mp // t
+                    if r > 1:
+                        reps = [first + q * t for q in range(r)]
+                        dp_c[m][mp], dp_l[m][mp] = allreduce_cost_factors(
+                            placement, reps
+                        )
+                    worst_c = worst_l = 0.0
+                    for q in range(r):
+                        shard_group = list(
+                            range(first + q * t, first + (q + 1) * t)
+                        )
+                        c, l = allreduce_cost_factors(placement, shard_group)
+                        if c > worst_c:
+                            worst_c = c
+                        if l > worst_l:
+                            worst_l = l
+                    tp_c[m][mp] = worst_c
+                    tp_l[m][mp] = worst_l
+            tables[t] = (dp_c, dp_l, tp_c, tp_l)
+        return tables
+
+    def _refined_row_keys(
+        self, W: int, coeffs, link_bw, lats, tp_tables=None
+    ) -> List[tuple]:
         """Chained placement signatures for suffix-DP rows ``1..W``.
 
         Row ``m`` of the suffix DP depends on the topology only through
@@ -830,7 +1034,26 @@ class PipeDreamOptimizer:
             bw_m = tuple(
                 link_bw[min(W - m + mp, W - 1)] for mp in range(1, m + 1)
             )
-            chain = (coeff_m, lat_m, bw_m, chain)
+            if tp_tables:
+                # Tensor-parallel rows additionally depend on the strided
+                # dp-group and shard-group factors of their suffix, so the
+                # chain must carry them: cross-worker-count reuse stays
+                # value-transparent (warm == cold bitwise) even when two
+                # suffixes pack the contiguous groups alike but the
+                # strided ones differently.
+                tp_m = tuple(
+                    (
+                        t,
+                        tuple(tabs[0][m][1 : m + 1]),
+                        tuple(tabs[1][m][1 : m + 1]),
+                        tuple(tabs[2][m][1 : m + 1]),
+                        tuple(tabs[3][m][1 : m + 1]),
+                    )
+                    for t, tabs in sorted(tp_tables.items())
+                )
+                chain = (coeff_m, lat_m, bw_m, tp_m, chain)
+            else:
+                chain = (coeff_m, lat_m, bw_m, chain)
             keys[m] = (ns, m, chain)
         return keys
 
@@ -955,8 +1178,86 @@ class PipeDreamOptimizer:
                 non_overlappable = non_overlappable + lat / mp
         return max(compute_term, overlappable) + non_overlappable
 
+    def _refined_stage_time_tp(
+        self, j: int, k: int, mp: int, t: int, m: int,
+        dp_coeff: float, dp_lat: float, tp_coeff: float, tp_lat: float,
+        limit: float,
+    ) -> float:
+        """Leading-stage time of a ``(replicas=mp/t, tp_degree=t)`` cell.
+
+        The stage's ``mp`` physical workers split into ``r = mp/t``
+        replicas of ``t`` shards.  Relative to :meth:`_refined_stage_time`:
+
+        - the shardable compute share divides by ``t`` (the rest is
+          replicated work every shard repeats);
+        - every minibatch pays two intra-stage collectives on the slowest
+          shard group (``tp_coeff``/``tp_lat``): the forward allgather of
+          the stage's *output* boundary activations — charged for the last
+          stage too, so tp never degenerates into free compute division —
+          and the backward reduce-scatter of the *input* boundary (zero at
+          the input stage, which reads training data);
+        - the data-parallel sync streams the *sharded* eager payload over
+          the strided representative group (``dp_coeff``/``dp_lat``),
+          amortized over the round of ``r`` minibatches; deferred (BPTT)
+          weights are unshardable by construction and sync in full;
+        - the memory mask evaluates the shared kernel with the shard
+          divisor at the exact depth ``ceil(m/mp)`` (physical workers
+          downstream over physical workers held — :func:`warmup_count`'s
+          tp-aware generalization) and ``r`` logical replicas.
+        """
+        r = mp // t
+        if r > 1 and not self.allow_replication:
+            return math.inf
+        versions = -(-m // mp)  # exact 1F1B depth over physical workers
+        shard_w = self._shard_weights(j, k)
+        shard_a = self._shard_acts(j, k)
+        cost = self._stage_memory_cost(
+            self._weights(j, k), self._recurrent_weights(j, k),
+            self._activation_sum(j, k), versions, r,
+            tp_degree=t, shardable_weight_bytes=shard_w,
+            shardable_activation_bytes=shard_a,
+        )
+        st = self._shard_time(j, k)
+        stage_compute = self._time(j, k) - st + st / t
+        if cost > limit:
+            if not self._recompute_auto:
+                return math.inf
+            cost_on = self._stage_memory_cost(
+                self._weights(j, k), self._recurrent_weights(j, k),
+                self._activation_sum(j, k), versions, r,
+                recompute=True,
+                boundary_activation_bytes=self._boundary_acts(j),
+                tp_degree=t, shardable_weight_bytes=shard_w,
+                shardable_activation_bytes=shard_a,
+            )
+            if cost_on > limit:
+                return math.inf
+            # Checkpointing replays the *sharded* forward during backward.
+            sb = self._shard_backward(j, k)
+            sharded_backward = self._backward_sum(j, k) - sb + sb / t
+            stage_compute = stage_compute + (stage_compute - sharded_backward)
+        out_act = self.profile.activation_bytes(k)
+        in_act = self._boundary_acts(j)
+        out_term = out_act * tp_coeff + (tp_lat if out_act > 0 else 0.0)
+        in_term = in_act * tp_coeff + (tp_lat if in_act > 0 else 0.0)
+        stage_total = stage_compute + (out_term + in_term)
+        compute_term = stage_total / r
+        if r == 1:
+            return compute_term
+        weights = self._weights(j, k)
+        deferred = self._recurrent_weights(j, k)
+        stream = (weights - deferred) - shard_w + shard_w / t
+        overlappable = stream * dp_coeff / r
+        non_overlappable = deferred * dp_coeff / r
+        if dp_lat > 0.0:
+            if stream > 0:
+                overlappable = overlappable + dp_lat / r
+            if deferred > 0:
+                non_overlappable = non_overlappable + dp_lat / r
+        return max(compute_term, overlappable) + non_overlappable
+
     def _solve_refined_reference(
-        self, topology: Topology, coeffs, link_bw, lats
+        self, topology: Topology, coeffs, link_bw, lats, tp_tables=None
     ) -> Optional[List[Stage]]:
         """Scalar suffix DP (the oracle the vectorized twin must match)."""
         n = self._n
@@ -969,10 +1270,11 @@ class PipeDreamOptimizer:
         R = [[inf] * (n + 1) for _ in range(W + 1)]
         ptr_k = [[-1] * n for _ in range(W + 1)]
         ptr_mp = [[-1] * n for _ in range(W + 1)]
+        ptr_tp = [[1] * n for _ in range(W + 1)] if tp_tables else None
         R[0][n] = 0.0
         row_cache = None if self.context is None else self.context.refined_rows
         row_keys = (
-            self._refined_row_keys(W, coeffs, link_bw, lats)
+            self._refined_row_keys(W, coeffs, link_bw, lats, tp_tables)
             if row_cache is not None
             else None
         )
@@ -983,12 +1285,15 @@ class PipeDreamOptimizer:
                     R[m] = list(hit[0])
                     ptr_k[m] = list(hit[1])
                     ptr_mp[m] = list(hit[2])
+                    if ptr_tp is not None:
+                        ptr_tp[m] = list(hit[3])
                     self.context._bump("row_hits")
                     continue
             for j in range(n - 1, -1, -1):
                 best = inf
                 best_k = -1
                 best_mp = -1
+                best_tp = 1
                 for k in range(j, n):
                     act = self.profile.activation_bytes(k)
                     for mp in range(1, m + 1):
@@ -1010,20 +1315,107 @@ class PipeDreamOptimizer:
                             best = candidate
                             best_k = k
                             best_mp = mp
+                            best_tp = 1
+                        if tp_tables:
+                            # (k, mp, t)-lexicographic tie-break: the
+                            # two-axis cell above went first, so tp only
+                            # wins a cell by being strictly better.
+                            for t in self._tp_options[1:]:
+                                if mp % t:
+                                    continue
+                                dp_c, dp_l, tp_c, tp_l = tp_tables[t]
+                                stage_t = self._refined_stage_time_tp(
+                                    j, k, mp, t, m, dp_c[m][mp], dp_l[m][mp],
+                                    tp_c[m][mp], tp_l[m][mp], limit,
+                                )
+                                candidate = max(stage_t, boundary, rest)
+                                if candidate < best:
+                                    best = candidate
+                                    best_k = k
+                                    best_mp = mp
+                                    best_tp = t
                 R[m][j] = best
                 ptr_k[m][j] = best_k
                 ptr_mp[m][j] = best_mp
+                if ptr_tp is not None:
+                    ptr_tp[m][j] = best_tp
             if row_cache is not None:
-                row_cache[row_keys[m]] = (
-                    list(R[m]), list(ptr_k[m]), list(ptr_mp[m])
-                )
+                if ptr_tp is not None:
+                    row_cache[row_keys[m]] = (
+                        list(R[m]), list(ptr_k[m]), list(ptr_mp[m]),
+                        list(ptr_tp[m]),
+                    )
+                else:
+                    row_cache[row_keys[m]] = (
+                        list(R[m]), list(ptr_k[m]), list(ptr_mp[m])
+                    )
                 self.context._bump("row_misses")
         if not math.isfinite(R[W][0]):
             return None
-        return self._reconstruct_refined(ptr_k, ptr_mp, W)
+        return self._reconstruct_refined(ptr_k, ptr_mp, W, ptr_tp)
+
+    def _refined_tp_plane(
+        self, m, mp, t, tabs, valid, compute, Wt, D, At,
+        SW, SA, ST, SB, Bt, bacts, acts, limit,
+    ):
+        """(n, n) leading-stage times of the ``(mp/t, t)`` tp cell — the
+        vectorized twin of :meth:`_refined_stage_time_tp`, computed with
+        the same float expressions in the same order so both paths stay
+        bitwise equal."""
+        n = self._n
+        inf = math.inf
+        r = mp // t
+        if r > 1 and not self.allow_replication:
+            return np.full((n, n), inf)
+        dp_c, dp_l, tp_c, tp_l = tabs
+        dp_coeff = dp_c[m][mp]
+        dp_lat = dp_l[m][mp]
+        tp_coeff = tp_c[m][mp]
+        tp_lat = tp_l[m][mp]
+        versions = -(-m // mp)
+        cost = self._stage_memory_cost(
+            Wt, D, At, versions, r, tp_degree=t,
+            shardable_weight_bytes=SW, shardable_activation_bytes=SA,
+        )
+        stage_compute = compute - ST + ST / t
+        out_term = acts * tp_coeff + np.where(acts > 0, tp_lat, 0.0)
+        in_term = bacts * tp_coeff + np.where(bacts > 0, tp_lat, 0.0)
+        tp_comm = out_term[None, :] + in_term[:, None]
+        stage_total = stage_compute + tp_comm
+        if r == 1:
+            tm = stage_total / r
+            overl = nonov = None
+        else:
+            stream = (Wt - D) - SW + SW / t
+            overl = stream * dp_coeff / r
+            nonov = D * dp_coeff / r
+            if dp_lat > 0.0:
+                overl = overl + np.where(stream > 0, dp_lat / r, 0.0)
+                nonov = nonov + np.where(D > 0, dp_lat / r, 0.0)
+            tm = np.maximum(stage_total / r, overl) + nonov
+        tval = np.where(valid, tm, inf)
+        if self._recompute_auto:
+            sharded_backward = Bt - SB + SB / t
+            compute_r = stage_compute + (stage_compute - sharded_backward)
+            stage_total_r = compute_r + tp_comm
+            if r == 1:
+                tm_r = stage_total_r / r
+            else:
+                tm_r = np.maximum(stage_total_r / r, overl) + nonov
+            tval_r = np.where(valid, tm_r, inf)
+            cost_r = self._stage_memory_cost(
+                Wt, D, At, versions, r, recompute=True,
+                boundary_activation_bytes=bacts[:, None],
+                tp_degree=t, shardable_weight_bytes=SW,
+                shardable_activation_bytes=SA,
+            )
+            return np.where(
+                cost <= limit, tval, np.where(cost_r <= limit, tval_r, inf)
+            )
+        return np.where(cost <= limit, tval, inf)
 
     def _solve_refined_vectorized(
-        self, topology: Topology, coeffs, link_bw, lats
+        self, topology: Topology, coeffs, link_bw, lats, tp_tables=None
     ) -> Optional[List[Stage]]:
         """Numpy suffix DP: per worker count, one argmin over a (k, m')
         candidate cube.  The (k-major, m'-minor) flattening reproduces the
@@ -1047,24 +1439,39 @@ class PipeDreamOptimizer:
             [self.profile.activation_bytes(k) for k in range(n)]
         )
         recompute_auto = self._recompute_auto
-        if recompute_auto:
-            # Checkpointed stage time: one extra forward (compute minus
-            # backward), same float expression as the scalar twin's
-            # ``stage_compute + (stage_compute - backward)``.
+        if recompute_auto or tp_tables:
             pb = np.asarray(self._prefix_backward)
             Bt = pb[None, 1:] - pb[:n, None]
-            compute_r = compute + (compute - Bt)
             # Boundary stash per leading layer j: pa[j] - pa[j-1] (0 at
             # the input stage), the same subtraction _boundary_acts does.
             bacts = np.zeros(n)
             bacts[1:] = pa[1:n] - pa[: n - 1]
+        if recompute_auto:
+            # Checkpointed stage time: one extra forward (compute minus
+            # backward), same float expression as the scalar twin's
+            # ``stage_compute + (stage_compute - backward)``.
+            compute_r = compute + (compute - Bt)
+        if tp_tables:
+            # Shardable-share range tables (same prefix-difference floats
+            # as the scalar twin's _shard_* helpers).
+            psw = np.asarray(self._prefix_shard_weights)
+            psa = np.asarray(self._prefix_shard_acts)
+            pst = np.asarray(self._prefix_shard_time)
+            psb = np.asarray(self._prefix_shard_backward)
+            SWt = psw[None, 1:] - psw[:n, None]
+            SAt = psa[None, 1:] - psa[:n, None]
+            STt = pst[None, 1:] - pst[:n, None]
+            SBt = psb[None, 1:] - psb[:n, None]
         R = np.full((W + 1, n + 1), inf)
         R[0, n] = 0.0
         ptr_k = np.full((W + 1, n), -1, dtype=np.int64)
         ptr_mp = np.full((W + 1, n), -1, dtype=np.int64)
+        ptr_tp = (
+            np.ones((W + 1, n), dtype=np.int64) if tp_tables else None
+        )
         row_cache = None if self.context is None else self.context.refined_rows
         row_keys = (
-            self._refined_row_keys(W, coeffs, link_bw, lats)
+            self._refined_row_keys(W, coeffs, link_bw, lats, tp_tables)
             if row_cache is not None
             else None
         )
@@ -1075,8 +1482,13 @@ class PipeDreamOptimizer:
                     R[m] = hit[0]
                     ptr_k[m] = hit[1]
                     ptr_mp[m] = hit[2]
+                    if ptr_tp is not None:
+                        ptr_tp[m] = hit[3]
                     self.context._bump("row_hits")
                     continue
+            tp_sel = (
+                np.empty((m, n, n), dtype=np.int64) if tp_tables else None
+            )
             cand = np.empty((m, n, n))
             for mp in range(1, m + 1):
                 # Leading-stage time for this (m, mp): the placement-exact
@@ -1129,9 +1541,32 @@ class PipeDreamOptimizer:
                     boundary[: n - 1] = (
                         2.0 * acts[: n - 1] / link_bw[min(W - m + mp, W - 1)]
                     )
-                cand[mp - 1] = np.maximum(
+                cand_mp = np.maximum(
                     np.maximum(masked, boundary[None, :]), R[m - mp][None, 1:]
                 )
+                if tp_tables:
+                    # Fold the tp planes into this mp's candidate slab with
+                    # strict '<' on the *full* candidate (stage, boundary,
+                    # rest) — the scalar twin's (k, mp, t) tie-break: when
+                    # the boundary or the rest dominates both, the earlier
+                    # (smaller) degree keeps the cell.
+                    tsel = np.ones((n, n), dtype=np.int64)
+                    for t in self._tp_options[1:]:
+                        if mp % t:
+                            continue
+                        masked_t = self._refined_tp_plane(
+                            m, mp, t, tp_tables[t], valid, compute, Wt, D,
+                            At, SWt, SAt, STt, SBt, Bt, bacts, acts, limit,
+                        )
+                        cand_t = np.maximum(
+                            np.maximum(masked_t, boundary[None, :]),
+                            R[m - mp][None, 1:],
+                        )
+                        better = cand_t < cand_mp
+                        cand_mp = np.where(better, cand_t, cand_mp)
+                        tsel = np.where(better, t, tsel)
+                    tp_sel[mp - 1] = tsel
+                cand[mp - 1] = cand_mp
             candf = cand.transpose(2, 0, 1).reshape(n * m, n)
             flat = np.argmin(candf, axis=0)
             best = np.take_along_axis(candf, flat[None], axis=0)[0]
@@ -1139,23 +1574,40 @@ class PipeDreamOptimizer:
             R[m, :n] = np.where(finite, best, inf)
             ptr_k[m] = np.where(finite, flat // m, -1)
             ptr_mp[m] = np.where(finite, flat % m + 1, -1)
+            if ptr_tp is not None:
+                # tp_sel shares cand's [mp-1, j, k] layout, so the same
+                # (k-major, mp-minor) flattening aligns with ``flat``.
+                tself = tp_sel.transpose(2, 0, 1).reshape(n * m, n)
+                tsel_best = np.take_along_axis(tself, flat[None], axis=0)[0]
+                ptr_tp[m] = np.where(finite, tsel_best, 1)
             if row_cache is not None:
-                row_cache[row_keys[m]] = (
-                    R[m].copy(), ptr_k[m].copy(), ptr_mp[m].copy()
-                )
+                if ptr_tp is not None:
+                    row_cache[row_keys[m]] = (
+                        R[m].copy(), ptr_k[m].copy(), ptr_mp[m].copy(),
+                        ptr_tp[m].copy(),
+                    )
+                else:
+                    row_cache[row_keys[m]] = (
+                        R[m].copy(), ptr_k[m].copy(), ptr_mp[m].copy()
+                    )
                 self.context._bump("row_misses")
         if not np.isfinite(R[W, 0]):
             return None
-        return self._reconstruct_refined(ptr_k, ptr_mp, W)
+        return self._reconstruct_refined(ptr_k, ptr_mp, W, ptr_tp)
 
-    def _reconstruct_refined(self, ptr_k, ptr_mp, W: int) -> List[Stage]:
+    def _reconstruct_refined(
+        self, ptr_k, ptr_mp, W: int, ptr_tp=None
+    ) -> List[Stage]:
         """Walk the suffix DP's back-pointers front to back.
 
         Under ``recompute="auto"`` the per-stage flag is re-derived from
         the exact arithmetic the masks used: a chosen stage checkpoints
         iff its stash-everything cost busts the limit (the DP only
         admitted such a cell through the recompute mask, and always
-        prefers stash-everything when it fits).
+        prefers stash-everything when it fits).  ``ptr_tp`` (tp solves
+        only) carries the chosen degree per cell; ``mp`` stays the
+        *physical* worker count, so the emitted stage holds ``mp/t``
+        logical replicas.
         """
         n = self._n
         stages: List[Stage] = []
@@ -1163,15 +1615,27 @@ class PipeDreamOptimizer:
         while j < n:
             k = int(ptr_k[m][j])
             mp = int(ptr_mp[m][j])
+            t = int(ptr_tp[m][j]) if ptr_tp is not None else 1
             recompute = False
             if self._recompute_auto:
                 versions = -(-m // mp)
-                cost = self._stage_memory_cost(
-                    self._weights(j, k), self._recurrent_weights(j, k),
-                    self._activation_sum(j, k), versions, mp,
-                )
+                if t > 1:
+                    cost = self._stage_memory_cost(
+                        self._weights(j, k), self._recurrent_weights(j, k),
+                        self._activation_sum(j, k), versions, mp // t,
+                        tp_degree=t,
+                        shardable_weight_bytes=self._shard_weights(j, k),
+                        shardable_activation_bytes=self._shard_acts(j, k),
+                    )
+                else:
+                    cost = self._stage_memory_cost(
+                        self._weights(j, k), self._recurrent_weights(j, k),
+                        self._activation_sum(j, k), versions, mp,
+                    )
                 recompute = cost > self.memory_limit_bytes
-            stages.append(Stage(j, k + 1, mp, recompute=recompute))
+            stages.append(
+                Stage(j, k + 1, mp // t, recompute=recompute, tp_degree=t)
+            )
             j = k + 1
             m -= mp
         return stages
@@ -1267,6 +1731,27 @@ class PipeDreamOptimizer:
                     tm = tm + deferred_t
                     T[m] = np.where(feasible, tm, inf)
 
+            # ----- tensor-parallel leaf cells -------------------------
+            tchoice = None
+            if k == 1 and self._tp_enabled:
+                # Fold the tp planes into T with strict '<' (degrees
+                # ascending) — identical tie-break to the scalar twin's
+                # stage_time fold, applied before the A recurrence so
+                # splits see the tp'd stage times.
+                tchoice = np.ones((mk + 1, n, n), dtype=np.int64)
+                for m in range(1, mk + 1):
+                    for t in self._tp_options[1:]:
+                        if m % t:
+                            continue
+                        plane = self._tp_plane_level1(
+                            m, t, level, feasible, compute
+                        )
+                        if plane is None:
+                            continue
+                        better = plane < T[m]
+                        T[m] = np.where(better, plane, T[m])
+                        tchoice[m] = np.where(better, t, tchoice[m])
+
             # ----- A^k recurrence -------------------------------------
             A = np.full((mk + 1, n, n), inf)
             ptr_s = np.full((mk + 1, n, n), -1, dtype=np.int64)
@@ -1301,7 +1786,10 @@ class PipeDreamOptimizer:
                     ptr_s[m] = np.where(use, flat // (m - 1), -1)
                     ptr_mp[m] = np.where(use, flat % (m - 1) + 1, -1)
 
-            entry = (A, ptr_s, ptr_mp)
+            entry = (
+                (A, ptr_s, ptr_mp, tchoice) if tchoice is not None
+                else (A, ptr_s, ptr_mp)
+            )
             self._level_cache[cache_key] = entry
             if self.context is not None:
                 self.context._bump("level_misses")
@@ -1324,23 +1812,36 @@ class PipeDreamOptimizer:
         j: int,
         m: int,
     ) -> List[Stage]:
-        """:meth:`_reconstruct` over the vectorized tables."""
+        """:meth:`_reconstruct` over the vectorized tables (level-1
+        entries carry a 4th element, the tp-choice array)."""
         if k == 0:
             return [Stage(i, j + 1, 1)]
-        _, ptr_s, ptr_mp = tables[k - 1]
+        entry = tables[k - 1]
+        ptr_s, ptr_mp = entry[1], entry[2]
+        tchoice = entry[3] if len(entry) > 3 else None
         s = int(ptr_s[m, i, j])
-        prev_capacity = topology.levels[k - 2].count if k >= 2 else 1
         if s < 0:
+            if k == 1:
+                t = int(tchoice[m, i, j]) if tchoice is not None else 1
+                return [Stage(i, j + 1, m // t, tp_degree=t)]
+            prev_capacity = topology.levels[k - 2].count
             inner = self._reconstruct_arrays(
                 tables, topology, k - 1, i, j, prev_capacity
             )
-            return [Stage(st.start, st.stop, st.replicas * m) for st in inner]
+            return [replace(st, replicas=st.replicas * m) for st in inner]
         m_prime = int(ptr_mp[m, i, j])
         left = self._reconstruct_arrays(tables, topology, k, i, s, m - m_prime)
-        inner = self._reconstruct_arrays(
-            tables, topology, k - 1, s + 1, j, prev_capacity
-        )
-        right = [Stage(st.start, st.stop, st.replicas * m_prime) for st in inner]
+        if k == 1:
+            t = int(tchoice[m_prime, s + 1, j]) if tchoice is not None else 1
+            right = [Stage(s + 1, j + 1, m_prime // t, tp_degree=t)]
+        else:
+            prev_capacity = topology.levels[k - 2].count
+            inner = self._reconstruct_arrays(
+                tables, topology, k - 1, s + 1, j, prev_capacity
+            )
+            right = [
+                replace(st, replicas=st.replicas * m_prime) for st in inner
+            ]
         return left + right
 
     def _solve_for_reference(self, topology: Topology) -> List[Stage]:
@@ -1354,6 +1855,10 @@ class PipeDreamOptimizer:
         # on m' components.
         tables: List[Dict[Tuple[int, int, int], Tuple[float, Optional[Tuple[int, int]]]]] = []
 
+        #: Level-1 cells where a tp degree beat the two-axis stage time
+        #: (strict '<', degrees ascending — same tie-break as the
+        #: vectorized fold); consulted during reconstruction.
+        tp_choices: Dict[Tuple[int, int, int], int] = {}
         prev_capacity = 1  # m_{k-1}: components of the level below
         prev_workers = 1  # workers inside one level-(k-1) component
         for k, level in enumerate(topology.levels, start=1):
@@ -1373,6 +1878,19 @@ class PipeDreamOptimizer:
                     tables, k, prev_capacity, prev_workers,
                     allreduce_bandwidth, allreduce_latency, i, j, m,
                 )
+                if k == 1 and self._tp_enabled:
+                    # The tp axis shards level-1 (leaf) stages only: upper
+                    # levels replicate whatever the leaf chose.
+                    for t in self._tp_options[1:]:
+                        if m % t:
+                            continue
+                        tp_val = self._tp_stage_time_level1(
+                            i, j, m, t,
+                            allreduce_bandwidth, allreduce_latency,
+                        )
+                        if tp_val < result:
+                            result = tp_val
+                            tp_choices[(i, j, m)] = t
                 stage_cache[(i, j, m)] = result
                 return result
 
@@ -1404,7 +1922,8 @@ class PipeDreamOptimizer:
             raise RuntimeError("no feasible partition found (memory limit too tight?)")
 
         return self._reconstruct(tables, topology, top, 0, n - 1,
-                                 topology.levels[top - 1].count)
+                                 topology.levels[top - 1].count,
+                                 tp_choices if self._tp_enabled else None)
 
     def _stage_time_uncached(
         self,
@@ -1473,6 +1992,105 @@ class PipeDreamOptimizer:
                 )
         return max(compute_term, overlappable) + non_overlappable
 
+    def _tp_stage_time_level1(
+        self, i: int, j: int, m: int, t: int,
+        arbw: float, alpha: float,
+    ) -> float:
+        """T^1(i→j, m) with the ``m`` leaf workers split into ``m/t``
+        replicas of ``t`` consecutive shards.
+
+        The level-1 analogue of :meth:`_refined_stage_time_tp`, priced
+        with the level's own ring model (both the intra-stage boundary
+        collectives and the strided data-parallel sync stay within one
+        level-1 component group here, so the flat ring coefficient is the
+        level-exact price — the refined pass re-prices cross-level spans
+        through the placement).  Replication of a tp'd leaf by upper
+        levels keeps the conservative full-payload sync of the two-axis
+        model.
+        """
+        r = m // t
+        if r > 1 and not self.allow_replication:
+            return math.inf
+        if not self._memory_ok(i, j):
+            return math.inf
+        st = self._shard_time(i, j)
+        stage_compute = self._time(i, j) - st + st / t
+        ring_t = 2.0 * (t - 1) / t / arbw
+        out_act = self.profile.activation_bytes(j)
+        in_act = self._boundary_acts(i)
+        out_term = out_act * ring_t
+        in_term = in_act * ring_t
+        if alpha > 0.0:
+            if out_act > 0:
+                out_term = out_term + alpha
+            if in_act > 0:
+                in_term = in_term + alpha
+        stage_total = stage_compute + (out_term + in_term)
+        if r == 1:
+            return stage_total / r
+        weights = self._weights(i, j)
+        deferred = self._recurrent_weights(i, j)
+        sw = self._shard_weights(i, j)
+        stream = (weights - deferred) - sw + sw / t
+        ring_r = 2.0 * (r - 1) / r / arbw
+        overlappable = stream * ring_r / r
+        non_overlappable = deferred * ring_r / r
+        if alpha > 0.0:
+            if stream > 0:
+                overlappable = (
+                    overlappable + alpha * self._bucket_count(i, j) / r
+                )
+            if deferred > 0:
+                non_overlappable = non_overlappable + alpha / r
+        return max(stage_total / r, overlappable) + non_overlappable
+
+    def _tp_plane_level1(self, m, t, level, feasible, compute):
+        """(n, n) twin of :meth:`_tp_stage_time_level1` for the vectorized
+        level DP (same float expressions, elementwise)."""
+        r = m // t
+        if r > 1 and not self.allow_replication:
+            return None
+        n = self._n
+        inf = math.inf
+        arbw = level.allreduce_bandwidth
+        alpha = level.allreduce_latency
+        pw = np.asarray(self._prefix_weights)
+        pr = np.asarray(self._prefix_recurrent)
+        pa = np.asarray(self._prefix_acts)
+        psw = np.asarray(self._prefix_shard_weights)
+        pst = np.asarray(self._prefix_shard_time)
+        Wt = pw[None, 1:] - pw[:n, None]
+        D = pr[None, 1:] - pr[:n, None]
+        SW = psw[None, 1:] - psw[:n, None]
+        ST = pst[None, 1:] - pst[:n, None]
+        acts = np.asarray(
+            [self.profile.activation_bytes(j) for j in range(n)]
+        )
+        bacts = np.zeros(n)
+        bacts[1:] = pa[1:n] - pa[: n - 1]
+        stage_compute = compute - ST + ST / t
+        ring_t = 2.0 * (t - 1) / t / arbw
+        out_term = acts * ring_t
+        in_term = bacts * ring_t
+        if alpha > 0.0:
+            out_term = out_term + np.where(acts > 0, alpha, 0.0)
+            in_term = in_term + np.where(bacts > 0, alpha, 0.0)
+        stage_total = stage_compute + (out_term[None, :] + in_term[:, None])
+        if r == 1:
+            tm = stage_total / r
+        else:
+            stream = (Wt - D) - SW + SW / t
+            ring_r = 2.0 * (r - 1) / r / arbw
+            overl = stream * ring_r / r
+            nonov = D * ring_r / r
+            if alpha > 0.0:
+                overl = overl + np.where(
+                    stream > 0, alpha * self._bucket_matrix() / r, 0.0
+                )
+                nonov = nonov + np.where(D > 0, alpha / r, 0.0)
+            tm = np.maximum(stage_total / r, overl) + nonov
+        return np.where(feasible, tm, inf)
+
     def _reconstruct(
         self,
         tables: Sequence[Dict],
@@ -1481,23 +2099,40 @@ class PipeDreamOptimizer:
         i: int,
         j: int,
         m: int,
+        tp_choices: Optional[Dict[Tuple[int, int, int], int]] = None,
     ) -> List[Stage]:
-        """Flatten the nested back-pointer structure into concrete stages."""
+        """Flatten the nested back-pointer structure into concrete stages.
+
+        Level-1 cells consult ``tp_choices``: a leaf that chose degree
+        ``t`` emits ``m/t`` replicas of tp width ``t`` (upper levels then
+        multiply replicas only, preserving the shard width)."""
         if k == 0:
             return [Stage(i, j + 1, 1)]
         entry = tables[k - 1][(i, j, m)]
         _, ptr = entry
         if ptr is None:
+            if k == 1:
+                t = tp_choices.get((i, j, m), 1) if tp_choices else 1
+                return [Stage(i, j + 1, m // t, tp_degree=t)]
             # Single level-k stage replicated over m components; expand its
             # internal level-(k-1) pipeline and multiply replica counts.
-            prev_capacity = topology.levels[k - 2].count if k >= 2 else 1
-            inner = self._reconstruct(tables, topology, k - 1, i, j, prev_capacity)
-            return [Stage(s.start, s.stop, s.replicas * m) for s in inner]
+            prev_capacity = topology.levels[k - 2].count
+            inner = self._reconstruct(tables, topology, k - 1, i, j,
+                                      prev_capacity, tp_choices)
+            return [replace(s, replicas=s.replicas * m) for s in inner]
         s, m_prime = ptr
-        left = self._reconstruct(tables, topology, k, i, s, m - m_prime)
-        prev_capacity = topology.levels[k - 2].count if k >= 2 else 1
-        inner = self._reconstruct(tables, topology, k - 1, s + 1, j, prev_capacity)
-        right = [Stage(st.start, st.stop, st.replicas * m_prime) for st in inner]
+        left = self._reconstruct(tables, topology, k, i, s, m - m_prime,
+                                 tp_choices)
+        if k == 1:
+            t = tp_choices.get((s + 1, j, m_prime), 1) if tp_choices else 1
+            right = [Stage(s + 1, j + 1, m_prime // t, tp_degree=t)]
+        else:
+            prev_capacity = topology.levels[k - 2].count
+            inner = self._reconstruct(tables, topology, k - 1, s + 1, j,
+                                      prev_capacity, tp_choices)
+            right = [
+                replace(st, replicas=st.replicas * m_prime) for st in inner
+            ]
         return left + right
 
 
@@ -1550,12 +2185,34 @@ def communication_bytes_per_minibatch(
     (2 a_s).  A stage replicated ``r`` ways synchronizes once per *round* of
     ``r`` minibatches with a ring all_reduce moving ``2 (r-1) |w|`` bytes in
     total, i.e. ``2 (r-1) |w| / r`` amortized per minibatch.
+
+    A tensor-parallel stage (``tp_degree = t > 1``) syncs per *shard
+    group*: each of the ``t`` concurrent r-member rings moves the shard's
+    payload — the unshardable weights replicated on every shard plus a
+    ``1/t`` slice of the shardable share — and every minibatch additionally
+    pays the intra-stage ring all_reduce on the boundary activations
+    (``2 (t-1) a`` bytes total across the group, for both the output and,
+    past stage 0, the input boundary).  ``t = 1`` leaves the original
+    expressions untouched.
     """
     _check_stages(profile, stages)
+    from repro.core import sharding
+
     total = 0.0
     for idx, stage in enumerate(stages):
         weights = profile.weight_bytes(stage.start, stage.stop)
-        total += 2.0 * (stage.replicas - 1) * weights / stage.replicas
+        t = stage.tp_degree
+        if t > 1:
+            shard_w = sharding.shardable_weight_bytes(
+                profile, stage.start, stage.stop)
+            payload = t * ((weights - shard_w) + shard_w / t)
+            total += 2.0 * (stage.replicas - 1) * payload / stage.replicas
+            out_act = profile.activation_bytes(stage.stop - 1)
+            in_act = (profile.activation_bytes(stage.start - 1)
+                      if stage.start > 0 else 0)
+            total += 2.0 * (t - 1) * (out_act + in_act)
+        else:
+            total += 2.0 * (stage.replicas - 1) * weights / stage.replicas
         if idx + 1 < len(stages):
             total += 2.0 * profile.activation_bytes(stage.stop - 1)
     return total
@@ -1590,11 +2247,14 @@ class _EvalTables:
 
     __slots__ = ("prefix_time", "prefix_weights", "prefix_recurrent", "acts",
                  "prefix_backward",
+                 "prefix_shard_time", "prefix_shard_weights",
+                 "prefix_shard_backward",
                  "np_time", "np_weights", "np_recurrent", "np_acts",
                  "np_backward")
 
     def __init__(self, profile: ModelProfile):
         pt, pw, pr, pb = [0.0], [0.0], [0.0], [0.0]
+        pst, psw, psb = [0.0], [0.0], [0.0]
         acts: List[float] = []
         for layer in profile:
             pt.append(pt[-1] + layer.compute_time)
@@ -1603,10 +2263,17 @@ class _EvalTables:
             pr.append(pr[-1] + recurrent)
             pb.append(pb[-1] + layer.backward)
             acts.append(float(layer.activation_bytes))
+            shardable = layer.kind in SHARDABLE_KINDS
+            pst.append(pst[-1] + (layer.compute_time if shardable else 0.0))
+            psw.append(psw[-1] + (layer.weight_bytes if shardable else 0))
+            psb.append(psb[-1] + (layer.backward if shardable else 0.0))
         self.prefix_time = pt
         self.prefix_weights = pw
         self.prefix_recurrent = pr
         self.prefix_backward = pb
+        self.prefix_shard_time = pst
+        self.prefix_shard_weights = psw
+        self.prefix_shard_backward = psb
         self.acts = acts
         if np is not None:
             self.np_time = np.asarray(pt)
@@ -1720,10 +2387,16 @@ def evaluate_partition_details(
     from repro.sim.memory import pipeline_memory_footprint
 
     tables = _eval_tables(profile)
+    tp_active = any(s.tp_degree > 1 for s in stages)
+    if tp_active and bucket_bytes is not None:
+        raise ValueError(
+            "bucket_bytes cannot be combined with tensor-parallel stages")
     if bucket_bytes is not None:
         result = _evaluate_details_bucketed(
             profile, tables, stages, topology, bucket_bytes
         )
+    elif tp_active:
+        result = _evaluate_details_tensor_parallel(tables, stages, topology)
     elif vectorize and np is not None:
         result = _evaluate_details_vectorized(tables, stages, topology)
     else:
@@ -1917,6 +2590,101 @@ def _evaluate_details_vectorized(
         worst, stage_times, boundary_times,
         sync_exposed=tuple(exposed.tolist()),
         sync_hidden=tuple(hidden.tolist()),
+    )
+
+
+def _evaluate_details_tensor_parallel(
+    tables: _EvalTables, stages: Sequence[Stage], topology: Topology
+) -> PartitionEvaluation:
+    """Tensor-parallel pricing (one scalar path for both ``vectorize``
+    modes — the :func:`_evaluate_details_bucketed` precedent).
+
+    A stage is ``replicas x tp_degree`` physical workers: replica ``q``
+    owns the ``t`` consecutive ids ``[first + q t, first + (q+1) t)``, and
+    the ``t`` data-parallel shard rings stride the replicas at step ``t``.
+    Shardable compute/weights divide by ``t`` (the complement stays
+    replicated, same split as the shared memory kernel); each minibatch
+    pays an intra-stage ring all_reduce on the output-boundary activation
+    (always — including the last stage, so sharded compute is never free)
+    and on the input boundary past stage 0.  Both collectives run once per
+    replica group; the stage waits on the slowest of the ``r`` concurrent
+    groups.  The dp sync charges each ring only at the topology levels its
+    strided group actually crosses — never the fused ``r x t`` span — per
+    :func:`repro.sim.network.allreduce_time` over the representative shard
+    group.  ``tp_degree = 1`` stages take branches textually identical to
+    :func:`_evaluate_details_scalar`.
+    """
+    from repro.sim.network import Placement, allreduce_time
+
+    placement = Placement(topology)
+    scale = topology.compute_scale
+    pt, pw, pr = tables.prefix_time, tables.prefix_weights, tables.prefix_recurrent
+    pb = tables.prefix_backward
+    pst = tables.prefix_shard_time
+    psw = tables.prefix_shard_weights
+    psb = tables.prefix_shard_backward
+    acts = tables.acts
+    next_worker = 0
+    firsts: List[int] = []
+    for stage in stages:
+        firsts.append(next_worker)
+        next_worker += stage.replicas * stage.tp_degree
+    stage_times: List[float] = []
+    boundary_times: List[float] = []
+    sync_exposed: List[float] = []
+    sync_hidden: List[float] = []
+    for idx, stage in enumerate(stages):
+        r = stage.replicas
+        t = stage.tp_degree
+        first = firsts[idx]
+        compute = (pt[stage.stop] - pt[stage.start]) / scale
+        if t > 1:
+            st = (pst[stage.stop] - pst[stage.start]) / scale
+            compute = compute - st + st / t
+        if stage.recompute:
+            bwd = (pb[stage.stop] - pb[stage.start]) / scale
+            if t > 1:
+                sb = (psb[stage.stop] - psb[stage.start]) / scale
+                bwd = bwd - sb + sb / t
+            compute = compute + (compute - bwd)
+        out_term = in_term = 0.0
+        if t > 1:
+            out_act = acts[stage.stop - 1]
+            in_act = acts[stage.start - 1] if stage.start > 0 else 0.0
+            for q in range(r):
+                group = list(range(first + q * t, first + (q + 1) * t))
+                out_term = max(out_term,
+                               allreduce_time(placement, group, out_act))
+                in_term = max(in_term,
+                              allreduce_time(placement, group, in_act))
+        stage_total = compute + (out_term + in_term)
+        cost = stage_total / r
+        exposed = hidden = 0.0
+        if r > 1:
+            weights = pw[stage.stop] - pw[stage.start]
+            deferred = pr[stage.stop] - pr[stage.start]
+            stream_payload = weights - deferred
+            if t > 1:
+                shard_w = psw[stage.stop] - psw[stage.start]
+                stream_payload = stream_payload - shard_w + shard_w / t
+            rep_group = [first + q * t for q in range(r)]
+            stream = allreduce_time(placement, rep_group, stream_payload)
+            blocked = allreduce_time(placement, rep_group, deferred)
+            cost = max(cost, stream / r) + blocked / r
+            exposed = cost - stage_total / r
+            hidden = stream / r + blocked / r - exposed
+        stage_times.append(cost)
+        sync_exposed.append(exposed)
+        sync_hidden.append(hidden)
+        if idx + 1 < len(stages):
+            src = firsts[idx] + stage.replicas * stage.tp_degree - 1
+            dst = firsts[idx + 1]
+            bandwidth = placement.link_bandwidth(src, dst)
+            boundary_times.append(2.0 * acts[stage.stop - 1] / bandwidth)
+    worst = max(max(stage_times), max(boundary_times, default=0.0))
+    return PartitionEvaluation(
+        worst, tuple(stage_times), tuple(boundary_times),
+        sync_exposed=tuple(sync_exposed), sync_hidden=tuple(sync_hidden),
     )
 
 

@@ -82,7 +82,15 @@ class Schedule:
 
     @property
     def num_workers(self) -> int:
-        return sum(len(w) for w in self.stage_workers.values())
+        """Physical worker count: replicas x tp shards summed over stages.
+
+        ``stage_workers`` holds one *representative* id per replica (the
+        tp-group leader); the other ``tp_degree - 1`` shards of each
+        replica occupy the ids between representatives and run in
+        lockstep with their leader, so they appear in the count but not
+        in the op lists.
+        """
+        return sum(s.replicas * s.tp_degree for s in self.stages)
 
     @property
     def num_stages(self) -> int:
@@ -103,19 +111,32 @@ class Schedule:
 
 
 def _assign_workers(stages: Sequence[Stage]) -> Dict[int, List[int]]:
-    """Give each stage replica a global worker id, stage-major."""
+    """Give each stage replica a global worker id, stage-major.
+
+    With tensor parallelism, replica ``q`` of a stage is a *group* of
+    ``tp_degree`` consecutive physical workers; the group's first id is
+    the representative that carries the schedule's ops (the shards run in
+    lockstep), so representatives within a stage are ``tp_degree`` apart.
+    At ``tp_degree == 1`` this is exactly the contiguous assignment.
+    """
     stage_workers: Dict[int, List[int]] = {}
     next_id = 0
     for s, stage in enumerate(stages):
-        stage_workers[s] = list(range(next_id, next_id + stage.replicas))
-        next_id += stage.replicas
+        step = stage.tp_degree
+        stage_workers[s] = list(
+            range(next_id, next_id + stage.replicas * step, step))
+        next_id += stage.replicas * step
     return stage_workers
 
 
 def compute_noam(stages: Sequence[Stage]) -> int:
-    """NUM_OPT_ACTIVE_MINIBATCHES per input-stage replica (§3.2)."""
-    workers = sum(stage.replicas for stage in stages)
-    return max(1, math.ceil(workers / stages[0].replicas))
+    """NUM_OPT_ACTIVE_MINIBATCHES per input-stage replica (§3.2).
+
+    Counts *physical* workers (tp shards included): a tp group deepens
+    the pipeline exactly like the extra pipeline workers it displaces.
+    """
+    workers = sum(stage.replicas * stage.tp_degree for stage in stages)
+    return max(1, math.ceil(workers / (stages[0].replicas * stages[0].tp_degree)))
 
 
 # ----------------------------------------------------------------------
@@ -178,9 +199,13 @@ def warmup_count(stages: Sequence[Stage], stage_index: int) -> int:
     to replicated stages: a replica must forward enough of *its own*
     minibatches to cover the workers at and downstream of its stage, i.e.
     ``ceil(sum_{t >= s} r_t / r_s)``.  For the input stage this equals NOAM.
+    Counts are *physical* (replicas x tp shards): a downstream tp group
+    occupies as many in-flight slots as the workers it is built from.
     """
-    downstream = sum(stage.replicas for stage in stages[stage_index:])
-    return max(1, math.ceil(downstream / stages[stage_index].replicas))
+    downstream = sum(
+        stage.replicas * stage.tp_degree for stage in stages[stage_index:])
+    own = stages[stage_index].replicas * stages[stage_index].tp_degree
+    return max(1, math.ceil(downstream / own))
 
 
 def one_f_one_b_rr_schedule(

@@ -62,7 +62,7 @@ _PLAN_KEYS = frozenset({
     "model", "profile", "device", "precision",
     "cluster", "servers", "topology", "num_workers",
     "memory_limit_bytes", "allow_replication", "memory_refine", "vectorize",
-    "bucket_bytes", "recompute",
+    "bucket_bytes", "recompute", "tp_degrees",
 })
 _SIMULATE_KEYS = _PLAN_KEYS | {"strategy", "minibatches", "engine",
                                "schedule_family"}
@@ -136,6 +136,7 @@ class NormalizedQuery:
     vectorize: bool
     bucket_bytes: Optional[float]
     recompute: Optional[str]
+    tp_degrees: Optional[Tuple[int, ...]]
     key: tuple
 
 
@@ -226,6 +227,21 @@ def normalize_plan_request(
             f"recompute must be null or 'auto', got {recompute!r}")
     if recompute == "auto" and not memory_refine:
         raise RequestError("recompute='auto' requires memory_refine")
+    tp_degrees = request.get("tp_degrees")
+    if tp_degrees is not None:
+        from repro.core.sharding import validate_tp_degrees
+
+        try:
+            tp_degrees = validate_tp_degrees(tp_degrees)
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"bad tp_degrees: {exc}") from exc
+        if tp_degrees == (1,):
+            # Degenerate request: tensor parallelism disabled.  Normalize
+            # to the historical query so its cache key stays byte-equal.
+            tp_degrees = None
+        elif bucket_bytes is not None:
+            raise RequestError(
+                "bucket_bytes cannot be combined with tp_degrees")
 
     # The canonical identity of the query.  The profile digest already
     # encodes precision (element width changes the serialized bytes); the
@@ -245,6 +261,8 @@ def normalize_plan_request(
     )
     if recompute is not None:
         key = key + (("recompute", recompute),)
+    if tp_degrees is not None:
+        key = key + (("tp_degrees", tp_degrees),)
     return NormalizedQuery(
         profile=profile,
         topology=solve_topology,
@@ -255,6 +273,7 @@ def normalize_plan_request(
         vectorize=vectorize,
         bucket_bytes=bucket_bytes,
         recompute=recompute,
+        tp_degrees=tp_degrees,
         key=key,
     )
 
@@ -312,6 +331,7 @@ class PlannerService:
             memory_refine=query.memory_refine,
             bucket_bytes=query.bucket_bytes,
             recompute=query.recompute,
+            tp_degrees=query.tp_degrees,
             context=self._context_for(query.profile),
         )
 
@@ -338,6 +358,13 @@ class PlannerService:
             # historical response payloads are unchanged.
             payload["stage_recompute"] = [
                 bool(s.recompute) for s in result.stages
+            ]
+        if query.tp_degrees is not None:
+            # Per-stage tensor-parallel degree; only present when the
+            # request opted into the third axis, so historical response
+            # payloads are unchanged.
+            payload["stage_tp_degrees"] = [
+                s.tp_degree for s in result.stages
             ]
         self.plan_cache.put(("plan", query.key), payload)
         return dict(payload, cached=False)
@@ -447,6 +474,7 @@ class PlannerService:
             "strategies", "precisions", "bucket_sizes", "device",
             "minibatches", "engine", "executor", "workers",
             "recomputes", "schedule_families", "memory_limit_bytes",
+            "tp_degrees",
         }
         unknown = set(request) - allowed
         if unknown:
@@ -490,6 +518,10 @@ class PlannerService:
                 memory_limit_bytes=(
                     None if request.get("memory_limit_bytes") is None
                     else float(request["memory_limit_bytes"])
+                ),
+                tp_degrees=(
+                    None if request.get("tp_degrees") is None
+                    else tuple(int(t) for t in request["tp_degrees"])
                 ),
                 contexts=self.contexts if self.warm_start else None,
             )

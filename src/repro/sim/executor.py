@@ -245,6 +245,35 @@ class _SimCore:
         fwd_time, bwd_time = stage_compute_times(
             profile, stages, topology.compute_scale
         )
+        # Tensor parallelism: a stage's shardable compute divides by its
+        # tp_degree (the non-shardable remainder is replicated across the
+        # tp group), *before* the 2BP split and recompute transforms — the
+        # replayed forward and the grad-weight half operate on the sharded
+        # durations.  The boundary-activation collectives are added after
+        # those transforms (recompute rebuilds from the already-gathered
+        # boundary stash, so it replays compute, not collectives).  Stages
+        # at tp_degree == 1 take no branch, keeping the timeline bitwise
+        # identical to the two-axis simulator.
+        tp_active = any(stage.tp_degree > 1 for stage in stages)
+        shard_tables = None
+        if tp_active:
+            if options.bucket_bytes is not None:
+                raise ValueError(
+                    "bucket_bytes cannot be combined with tensor-parallel "
+                    "stages: bucketing of sharded gradients is not modeled")
+            from repro.core.sharding import sharding_tables
+
+            shard_tables = sharding_tables(profile)
+            scale = topology.compute_scale
+            for s, stage in enumerate(stages):
+                t = stage.tp_degree
+                if t > 1:
+                    sf = shard_tables.shard_forward_time(
+                        stage.start, stage.stop) / scale
+                    sb = shard_tables.shard_backward_time(
+                        stage.start, stage.stop) / scale
+                    fwd_time[s] = fwd_time[s] - sf + sf / t
+                    bwd_time[s] = bwd_time[s] - sb + sb / t
         # 2BP backward split (schedules with ``backward_split``): the
         # grad-weight half leaves the critical grad-input path *before*
         # recompute is applied — the replayed forward must precede
@@ -266,6 +295,33 @@ class _SimCore:
                 b + f if stage.recompute else b
                 for stage, f, b in zip(stages, fwd_time, bwd_time)
             ]
+        if tp_active:
+            # Intra-stage collectives, folded into the per-op durations so
+            # both engines price them through the same precomputed lists:
+            # every forward ends with a ring all_reduce of the stage's
+            # output-boundary activation over its tp group (allgather of
+            # the column-parallel halves — priced on the *last* stage too,
+            # so sharded compute is never free), and every backward (past
+            # stage 0) runs the reduce-scatter on the input boundary.  The
+            # r per-replica groups run concurrently; the stage-wide
+            # duration is governed by the slowest group, the same rule the
+            # analytic evaluator applies.  Charged per group over the
+            # group's own worker ids — never the fused replicas x tp span.
+            for s, stage in enumerate(stages):
+                t = stage.tp_degree
+                if t > 1:
+                    out_act = profile.activation_bytes(stage.stop - 1)
+                    in_act = (profile.activation_bytes(stage.start - 1)
+                              if stage.start > 0 else 0)
+                    out_term = in_term = 0.0
+                    for rep in schedule.stage_workers[s]:
+                        group = list(range(rep, rep + t))
+                        out_term = max(out_term, allreduce_time(
+                            self.placement, group, out_act))
+                        in_term = max(in_term, allreduce_time(
+                            self.placement, group, in_act))
+                    fwd_time[s] = fwd_time[s] + out_term
+                    bwd_time[s] = bwd_time[s] + in_term
         self.fwd_time = fwd_time
         self.bwd_time = bwd_time
         self.bwd_w_time = bwd_w_time
@@ -295,7 +351,20 @@ class _SimCore:
             deferred_bytes = stage_deferred_weight_bytes(
                 profile, stage.start, stage.stop
             )
-            stream_bytes = stage_weight_bytes[s] - deferred_bytes
+            if stage.tp_degree > 1:
+                # Each of the t concurrent shard rings syncs its own slice:
+                # the replicated (unshardable) weights plus a 1/t shard of
+                # the shardable share.  ``workers`` holds one representative
+                # per replica (tp-group leaders, strided tp_degree apart),
+                # so allreduce_time charges exactly the levels the strided
+                # ring crosses.  Deferred (BPTT) weights are unshardable by
+                # construction and stay full.
+                shard_w = shard_tables.shard_weight_bytes(
+                    stage.start, stage.stop)
+                stream_bytes = ((stage_weight_bytes[s] - deferred_bytes)
+                                - shard_w + shard_w / stage.tp_degree)
+            else:
+                stream_bytes = stage_weight_bytes[s] - deferred_bytes
             sync_stream.append(allreduce_time(self.placement, workers, stream_bytes))
             sync_deferred.append(allreduce_time(self.placement, workers, deferred_bytes))
             sync_duration.append(sync_stream[-1] + sync_deferred[-1])

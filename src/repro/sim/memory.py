@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.core import sharding
 from repro.core.partition import RECURRENT_KINDS, Stage
 from repro.core.profile import ModelProfile
 from repro.core.schedule import warmup_count
@@ -88,7 +89,8 @@ def stage_deferred_weight_bytes(profile: ModelProfile, start: int, stop: int) ->
 
 def stage_memory_cost(weight_bytes, deferred_weight_bytes, activation_bytes,
                       depth, replicas=1, recompute=False,
-                      boundary_activation_bytes=0):
+                      boundary_activation_bytes=0, tp_degree=1,
+                      shardable_weight_bytes=0, shardable_activation_bytes=0):
     """The shared §3.3 payload kernel: bytes one replica holds at ``depth``.
 
     ``weight_bytes`` / ``deferred_weight_bytes`` / ``activation_bytes`` /
@@ -97,8 +99,8 @@ def stage_memory_cost(weight_bytes, deferred_weight_bytes, activation_bytes,
     ``replicas`` are integers.  All consumers — the bound, both refined-DP
     twins, and the footprint — evaluate exactly this expression, so their
     admit/reject decisions can only differ through the
-    ``depth``/``replicas``/``recompute`` they plug in, never through the
-    formula:
+    ``depth``/``replicas``/``recompute``/``tp_degree`` they plug in, never
+    through the formula:
 
     - eagerly-updated weights stash one version per in-flight minibatch
       (``depth`` versions, the newest being the live copy);
@@ -108,10 +110,24 @@ def stage_memory_cost(weight_bytes, deferred_weight_bytes, activation_bytes,
     - activations stash one set per in-flight minibatch (``depth`` sets) —
       unless ``recompute`` is on, in which case the stage keeps ``depth``
       *boundary* sets plus at most one full set (the live recompute
-      buffer), clamped so recompute never prices above stash-everything.
+      buffer), clamped so recompute never prices above stash-everything;
+    - tensor parallelism divides only the *shardable* share
+      (``shardable_weight_bytes`` / ``shardable_activation_bytes``, per
+      the :mod:`repro.core.sharding` registry) by ``tp_degree``; the
+      non-shardable remainder stays replicated across the tp group, the
+      deferred share is unshardable by construction (RECURRENT_KINDS are
+      not in the registry), and the recompute *boundary* stash stays full
+      because each shard rebuilds from the gathered stage input.  The
+      ``tp_degree == 1`` branch leaves every expression untouched so the
+      default path stays bitwise-identical.
     """
     stash_versions = -(-depth // replicas)  # ceil(depth / replicas)
     eager = weight_bytes - deferred_weight_bytes
+    if tp_degree > 1:
+        eager = (eager - shardable_weight_bytes
+                 + shardable_weight_bytes / tp_degree)
+        activation_bytes = (activation_bytes - shardable_activation_bytes
+                            + shardable_activation_bytes / tp_degree)
     acts_term = activation_bytes * depth
     if recompute:
         acts_on = boundary_activation_bytes * depth + activation_bytes
@@ -134,15 +150,27 @@ def stage_memory_bytes(
     depth: int,
     replicas: int = 1,
     recompute: bool = False,
+    tp_degree: int = 1,
 ) -> int:
     """Peak bytes one replica of stage ``[start, stop)`` holds at ``depth``
     in-flight minibatches — the single source of truth for per-stage memory
     (see module docstring).  Composed from the aggregate helpers above so
-    every byte flows through exactly one summation per quantity."""
+    every byte flows through exactly one summation per quantity.  With
+    ``tp_degree > 1`` this is the footprint of *one physical shard* of a
+    replica; the shardable share comes from the sharding registry."""
     weights = stage_weight_bytes(profile, start, stop)
     deferred = stage_deferred_weight_bytes(profile, start, stop)
     acts = stage_activation_bytes(profile, start, stop)
     boundary = stage_boundary_activation_bytes(profile, start)
+    if tp_degree > 1:
+        shard_w = sharding.shardable_weight_bytes(profile, start, stop)
+        shard_a = sharding.shardable_activation_bytes(profile, start, stop)
+        return int(stage_memory_cost(
+            weights, deferred, acts, depth, replicas,
+            recompute=recompute, boundary_activation_bytes=boundary,
+            tp_degree=tp_degree, shardable_weight_bytes=shard_w,
+            shardable_activation_bytes=shard_a,
+        ))
     return int(stage_memory_cost(
         weights, deferred, acts, depth, replicas,
         recompute=recompute, boundary_activation_bytes=boundary,
@@ -170,7 +198,8 @@ def pipeline_memory_footprint(
         depth = in_flight[s] if in_flight is not None else warmup_count(stages, s)
         footprints.append(
             stage_memory_bytes(profile, stage.start, stage.stop, depth,
-                               stage.replicas, recompute=stage.recompute)
+                               stage.replicas, recompute=stage.recompute,
+                               tp_degree=stage.tp_degree)
         )
     return footprints
 

@@ -97,6 +97,34 @@ def transfer_time(placement: Placement, src: int, dst: int, num_bytes: float) ->
     return num_bytes / placement.link_bandwidth(src, dst)
 
 
+def allreduce_cost_factors(placement: Placement, workers: Sequence[int]) -> Tuple[float, float]:
+    """Per-byte coefficient and fixed latency of a ring all_reduce over
+    ``workers`` — ``allreduce_time`` decomposed as ``coeff * bytes + lat``.
+
+    The planner's tensor-parallel cells price a stage's dp replica group
+    and tp shard groups as *separate* collectives over the worker ids each
+    group actually contains.  Charging α (``allreduce_latency``) and the
+    per-level ring term once per *active level per group* — instead of
+    once per fused ``replicas x tp_degree`` span — is what keeps the
+    planner's pricing identical to the simulator's, which also runs the
+    groups separately.  A level a group does not span (ring size 1)
+    contributes neither bandwidth nor α, exactly as in
+    :func:`allreduce_time`.
+    """
+    if len(workers) <= 1:
+        return 0.0, 0.0
+    coeff = 0.0
+    lat = 0.0
+    sizes = placement.ring_sizes(workers)
+    for k, level in enumerate(placement.topology.levels):
+        group = sizes[k]
+        if group > 1:
+            coeff += 2.0 * (group - 1) / group / level.allreduce_bandwidth
+            if level.allreduce_latency > 0.0:
+                lat += level.allreduce_latency
+    return coeff, lat
+
+
 def allreduce_time(placement: Placement, workers: Sequence[int], num_bytes: float) -> float:
     """Hierarchical ring all_reduce of ``num_bytes`` across ``workers``.
 

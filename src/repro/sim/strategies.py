@@ -279,16 +279,24 @@ def simulate_partition(
                    engine=engine)
     samples = num_minibatches * profile.batch_size
     total_bytes = communication_bytes_per_minibatch(profile, stages) * num_minibatches
+
+    def _fmt(s: Stage) -> str:
+        # Tensor-parallel stages render as "{replicas}x{tp_degree}"; plans
+        # without tp keep the historical byte-exact strings.
+        return (str(s.replicas) if s.tp_degree == 1
+                else f"{s.replicas}x{s.tp_degree}")
+
     config = (
-        str(stages[0].replicas)
+        _fmt(stages[0])
         if len(stages) == 1
-        else ("straight" if all(s.replicas == 1 for s in stages)
-              else "-".join(str(s.replicas) for s in stages))
+        else ("straight"
+              if all(s.replicas == 1 and s.tp_degree == 1 for s in stages)
+              else "-".join(_fmt(s) for s in stages))
     )
     return StrategyResult(
         strategy=strategy_name,
         config=config,
-        num_workers=sum(s.replicas for s in stages),
+        num_workers=sum(s.replicas * s.tp_degree for s in stages),
         throughput=sim.steady_state_throughput,
         epoch_time=_epoch_time(sim),
         communication_overhead=sim.communication_overhead,
@@ -313,6 +321,7 @@ def simulate_pipedream(
     memory_limit_bytes: Optional[float] = None,
     recompute: Optional[str] = None,
     schedule_family: str = "1f1b",
+    tp_degrees: Optional[Sequence[int]] = None,
 ) -> StrategyResult:
     """Run the optimizer, then simulate its chosen configuration.
 
@@ -330,6 +339,9 @@ def simulate_pipedream(
     be combined with a shared one (pass them to its constructor instead).
     ``schedule_family`` is forwarded to :func:`simulate_partition`; the
     DP fallback has no pipeline bubbles to fill and ignores it.
+    ``tp_degrees`` opens the third (tensor-parallel) planning axis on the
+    locally built optimizer; ``None`` keeps the two-axis planner and every
+    historical timeline bitwise intact.
     """
     converted = resolve_precision(profile, precision)
     if converted is not profile and optimizer is not None:
@@ -338,16 +350,19 @@ def simulate_pipedream(
             "conversion; build the optimizer from the converted profile")
     profile = converted
     if optimizer is not None and (memory_limit_bytes is not None
-                                  or recompute is not None):
+                                  or recompute is not None
+                                  or tp_degrees is not None):
         raise ValueError(
-            "memory_limit_bytes/recompute configure the locally built "
-            "optimizer; pass them to the shared optimizer's constructor")
+            "memory_limit_bytes/recompute/tp_degrees configure the locally "
+            "built optimizer; pass them to the shared optimizer's "
+            "constructor")
     if optimizer is None:
         optimizer = PipeDreamOptimizer(
             profile, topology, allow_replication=allow_replication,
             bucket_bytes=bucket_bytes,
             memory_limit_bytes=memory_limit_bytes,
             recompute=recompute,
+            tp_degrees=tp_degrees,
         )
         plan = optimizer.solve()
     else:

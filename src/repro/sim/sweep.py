@@ -105,6 +105,12 @@ class SweepRecord:
     #: backward-split ``"2bp"``).  Both default to the historical axes.
     recompute: Optional[str] = None
     schedule_family: str = "1f1b"
+    #: Tensor-parallel degree menu the cell's planner enumerated (``None``
+    #: = the two-axis planner, the pre-tp behaviour).  Plans that used a
+    #: tp>1 stage show it in ``config`` ("4x2-1").  The CSV exporter drops
+    #: this column when every record has the default, so historical CSV
+    #: output stays byte-identical.
+    tp_degrees: Optional[Tuple[int, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -160,17 +166,38 @@ def _plan_allreduce_seconds(
     ``weight_bytes`` — at the profile's own ``bytes_per_element``, so an
     fp16 profile pays half the fp32 payload — across its replica group, and
     the per-stage times add (groups share the hierarchy's links).
+
+    Tensor-parallel stages sync per *shard group*: the replica group is the
+    ``tp_degree``-strided representative ids (never the fused
+    ``replicas x tp_degree`` span — the strided ring is charged only at
+    the topology levels it actually crosses), and each shard's payload is
+    the unshardable weights plus a ``1/t`` slice of the shardable share.
+    ``tp_degree == 1`` stages take the original expressions untouched.
     """
     placement = Placement(topology)
     total = 0.0
     next_worker = 0
     for stage in stages:
-        group = list(range(next_worker, next_worker + stage.replicas))
-        next_worker += stage.replicas
-        if stage.replicas > 1:
-            total += allreduce_time(
-                placement, group, profile.weight_bytes(stage.start, stage.stop)
-            )
+        t = stage.tp_degree
+        if t > 1:
+            group = [next_worker + q * t for q in range(stage.replicas)]
+            next_worker += stage.replicas * t
+            if stage.replicas > 1:
+                from repro.core import sharding
+
+                weights = profile.weight_bytes(stage.start, stage.stop)
+                shard_w = sharding.shardable_weight_bytes(
+                    profile, stage.start, stage.stop)
+                total += allreduce_time(
+                    placement, group, weights - shard_w + shard_w / t
+                )
+        else:
+            group = list(range(next_worker, next_worker + stage.replicas))
+            next_worker += stage.replicas
+            if stage.replicas > 1:
+                total += allreduce_time(
+                    placement, group, profile.weight_bytes(stage.start, stage.stop)
+                )
     return total
 
 
@@ -210,6 +237,7 @@ def _run_cell(
     vectorize: bool,
     profile_cache: bool,
     memory_limit_bytes: Optional[float] = None,
+    tp_degrees: Optional[Tuple[int, ...]] = None,
     contexts: Optional[SolverContextPool] = None,
 ) -> List[Optional[SweepRecord]]:
     """Run one (model, strategy, precision) cell over every worker count.
@@ -242,6 +270,7 @@ def _run_cell(
             bucket_bytes=bucket_bytes,
             memory_limit_bytes=memory_limit_bytes,
             recompute=recompute,
+            tp_degrees=tp_degrees,
             context=None if contexts is None else contexts.get(profile),
         )
         if strategy == "pipedream" else None
@@ -287,6 +316,8 @@ def _run_cell(
             bucket_bytes=bucket_bytes,
             recompute=recompute,
             schedule_family=schedule_family,
+            tp_degrees=(optimizer.tp_degrees
+                        if optimizer is not None else None),
         ))
     return out
 
@@ -338,6 +369,7 @@ def run_sweep(
     recomputes: Sequence[Optional[str]] = (None,),
     schedule_families: Sequence[str] = ("1f1b",),
     memory_limit_bytes: Optional[float] = None,
+    tp_degrees: Optional[Sequence[int]] = None,
     contexts: Optional[SolverContextPool] = None,
 ) -> List[SweepRecord]:
     """Simulate every combination; skips worker counts that don't pack.
@@ -369,6 +401,12 @@ def run_sweep(
             bit.
         memory_limit_bytes: per-worker §3.3 cap handed to every pipedream
             cell's planner (``None`` = uncapped, the historical default).
+        tp_degrees: tensor-parallel degree menu handed to every pipedream
+            cell's planner (``None`` = the two-axis planner; records and
+            CSV output are then byte-identical to the pre-tp sweep).  A
+            menu such as ``(1, 2, 4)`` lets each cell's plan assign
+            ``(replicas, tp_degree)`` per stage; incompatible with
+            non-``None`` ``bucket_sizes`` entries.
         executor: ``"process"`` (default) or ``"thread"`` pool for
             ``workers > 1``; ``"serial"`` forces the in-process loop, and
             ``"auto"`` picks: serial for a single task, threads on small
@@ -420,6 +458,19 @@ def run_sweep(
         raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
     if on_error not in ("raise", "skip"):
         raise ValueError(f"unknown on_error {on_error!r}; expected 'raise' or 'skip'")
+    if tp_degrees is not None:
+        from repro.core.sharding import validate_tp_degrees
+
+        normalized_tp = validate_tp_degrees(tp_degrees)
+        # (1,) ≡ disabled, same normalization as the optimizer — keeps the
+        # degenerate menu on the byte-identical two-axis path.
+        tp_degrees = None if normalized_tp == (1,) else normalized_tp
+        if tp_degrees is not None and any(
+            cap is not None for cap in bucket_sizes
+        ):
+            raise ValueError(
+                "tp_degrees cannot be combined with bucket_sizes: "
+                "bucketing of sharded gradients is not modeled")
     worker_counts = list(worker_counts)
 
     def cell_axes(strategy: str) -> List[Tuple[Optional[str], str]]:
@@ -450,7 +501,7 @@ def run_sweep(
         cell_args = [
             (model, strategy, precision, bucket, policy, family, topology,
              worker_counts, device, minibatches, engine, vectorize,
-             profile_cache, memory_limit_bytes, contexts)
+             profile_cache, memory_limit_bytes, tp_degrees, contexts)
             for model, strategy, precision, bucket, policy, family in cells
         ]
         outcomes = [_run_cell_guarded(args) for args in cell_args]
@@ -473,7 +524,7 @@ def run_sweep(
             (cell_index, count_index,
              (model, strategy, precision, bucket, policy, family, topology,
               [count], device, minibatches, engine, vectorize, profile_cache,
-              memory_limit_bytes, subtask_contexts))
+              memory_limit_bytes, tp_degrees, subtask_contexts))
             for cell_index, (model, strategy, precision, bucket, policy,
                              family) in enumerate(cells)
             for count_index, count in enumerate(worker_counts)
@@ -547,18 +598,26 @@ def records_to_csv(records: Iterable[SweepRecord],
     ``stage_memory_bytes``) are flattened to ``|``-joined scalars so the
     output stays one row per record and round-trips through plain
     ``csv.DictReader`` (split on ``|`` to recover the stage axis).
+
+    The ``tp_degrees`` column appears only when at least one record carries
+    a non-default menu, so sweeps that never open the tensor-parallel axis
+    serialize byte-identically to pre-tp output.
     """
     records = list(records)
     if not records:
         raise ValueError("no records to serialize")
+    fieldnames = list(asdict(records[0]))
+    if all(record.tp_degrees is None for record in records):
+        fieldnames.remove("tp_degrees")
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=list(asdict(records[0])))
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
     writer.writeheader()
     for record in records:
         row = {
             key: "|".join(repr(v) for v in value)
             if isinstance(value, (tuple, list)) else value
             for key, value in asdict(record).items()
+            if key in fieldnames
         }
         writer.writerow(row)
     text = buffer.getvalue()

@@ -247,3 +247,116 @@ def test_memoized_solver_matches_cold_solves():
         cold = PipeDreamOptimizer(profile, TOPO_A).solve(workers)
         assert warm.stages == cold.stages
         assert warm.slowest_stage_time == cold.slowest_stage_time
+
+
+# ----------------------------------------------------------------------
+# Tensor-parallel stages: intra-stage collectives in both engines.
+# ----------------------------------------------------------------------
+
+from repro.core.partition import SolverContext  # noqa: E402
+from repro.core.schedule import schedule_for_family  # noqa: E402
+from repro.core.topology import Topology, TopologyLevel  # noqa: E402
+from repro.sim.faults import parse_faults  # noqa: E402
+
+HIER_TOPO = Topology("hier", [
+    TopologyLevel(4, 12e9, allreduce_latency=2e-5),
+    TopologyLevel(2, 2e9, allreduce_latency=8e-5),
+])
+FLAT8 = Topology("flat8", [TopologyLevel(8, 25e9)])
+#: Pinned memory cap for vgg16 on FLAT8: infeasible at tp=1, recovered
+#: by sharding (see TestTpPlanShift).
+VGG_FLAT8_CAP = 1766.3e6
+
+
+def _tp_stages_vgg():
+    """A hand-built hybrid plan for vgg16 on 8 workers: a sharded
+    replicated head (2x2), two plain stages, and a sharded tail (1x2)."""
+    n = len(VGG)
+    return [Stage(0, 8, 2, tp_degree=2), Stage(8, 12, 2),
+            Stage(12, 16, 1), Stage(16, n, 1, tp_degree=2)]
+
+
+TP_SCENARIOS = {
+    # The planner's own hybrid pick on a hierarchical cluster.
+    "tp_planned_hier": lambda: (
+        one_f_one_b_rr_schedule(
+            PipeDreamOptimizer(
+                VGG, HIER_TOPO, memory_limit_bytes=VGG_FLAT8_CAP,
+                tp_degrees=(1, 2)).solve().stages, 32),
+        VGG, HIER_TOPO, None),
+    "tp_hand_plan_flat8": lambda: (
+        one_f_one_b_rr_schedule(_tp_stages_vgg(), 32), VGG, FLAT8, None),
+    # Uneven packing: a tp=3 group [2, 3, 4] straddles the host boundary
+    # of a 3-per-host cluster, so its shard collective crosses levels.
+    "tp_uneven_cross_host": lambda: (
+        one_f_one_b_rr_schedule(
+            [Stage(0, 8, 1, tp_degree=2), Stage(8, 14, 1, tp_degree=3),
+             Stage(14, len(VGG), 1)], 24),
+        VGG, make_cluster("t6", 3, 2, 10e9, 1e9), None),
+    "tp_stragglers_nic": lambda: (
+        one_f_one_b_rr_schedule(_tp_stages_vgg(), 32), VGG, HIER_TOPO,
+        SimOptions(worker_speed={1: 0.5, 6: 2.0}, nic_contention=True)),
+    # A bandwidth-fault window squeezes the links while tp collectives
+    # and dp syncs are in flight.
+    "tp_bandwidth_fault_window": lambda: (
+        one_f_one_b_rr_schedule(_tp_stages_vgg(), 32), VGG, HIER_TOPO,
+        SimOptions(faults=parse_faults("bw@0.5:x4.0:d2.0", num_workers=8))),
+    "tp_2bp_backward_split": lambda: (
+        schedule_for_family(
+            one_f_one_b_rr_schedule(_tp_stages_vgg(), 32), "2bp"),
+        VGG, FLAT8, None),
+    "tp_2bp_stragglers": lambda: (
+        schedule_for_family(
+            one_f_one_b_rr_schedule(_tp_stages_vgg(), 32), "2bp"),
+        VGG, HIER_TOPO, SimOptions(worker_speed={3: 0.6, 5: 1.8})),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(TP_SCENARIOS))
+def test_engine_matches_reference_with_tp(scenario):
+    sched, profile, topo, options = TP_SCENARIOS[scenario]()
+    assert_engines_identical(sched, profile, topo, options)
+
+
+class TestTpPlanShift:
+    """The acceptance scenario: a memory-capped cell that is infeasible
+    at tp=1 becomes feasible through the third axis, and warm-started
+    solves agree with cold ones bitwise."""
+
+    def test_vgg16_flat8_recovered_by_tp(self):
+        for vectorize in (True, False):
+            with pytest.raises(RuntimeError):
+                PipeDreamOptimizer(
+                    VGG, FLAT8, memory_limit_bytes=VGG_FLAT8_CAP,
+                    vectorize=vectorize).solve()
+            plan = PipeDreamOptimizer(
+                VGG, FLAT8, memory_limit_bytes=VGG_FLAT8_CAP,
+                tp_degrees=(1, 2), vectorize=vectorize).solve()
+            assert plan.config_string == "1x2-1x2-2x2"
+            assert max(plan.memory_bytes) <= VGG_FLAT8_CAP
+            assert any(s.tp_degree > 1 for s in plan.stages)
+
+    def test_gnmt16_flat8_recovered_by_tp(self):
+        gnmt = analytic_profile("gnmt16")
+        cap = 475.1e6
+        with pytest.raises(RuntimeError):
+            PipeDreamOptimizer(gnmt, FLAT8, memory_limit_bytes=cap).solve()
+        plan = PipeDreamOptimizer(
+            gnmt, FLAT8, memory_limit_bytes=cap, tp_degrees=(1, 2)).solve()
+        assert plan.config_string == "3-1-2-1x2"
+        assert max(plan.memory_bytes) <= cap
+
+    def test_warm_start_matches_cold_with_tp(self):
+        context = SolverContext(VGG)
+        kwargs = dict(memory_limit_bytes=VGG_FLAT8_CAP, tp_degrees=(1, 2))
+        warm_opt = PipeDreamOptimizer(VGG, FLAT8, context=context, **kwargs)
+        for workers in (4, 6, 8):
+            warm = warm_opt.solve(workers)
+            cold = PipeDreamOptimizer(VGG, FLAT8, **kwargs).solve(workers)
+            assert warm.stages == cold.stages
+            assert warm.slowest_stage_time == cold.slowest_stage_time
+            assert warm.memory_bytes == cold.memory_bytes
+        # A second warm solve of the same query is served from the same
+        # tables and stays bitwise put.
+        again = warm_opt.solve(8)
+        assert again.stages == warm_opt.solve(8).stages

@@ -134,6 +134,62 @@ class TestWarmStartBitwise:
         assert_same_plan(warm_b, cold_b)
 
 
+class TestTpNamespace:
+    """Tensor-parallel menus get their own cache namespace inside a
+    shared context: interleaving tp and non-tp queries (or two different
+    menus) must never serve one query a row cached by the other."""
+
+    def test_tp_and_plain_queries_never_collide(self):
+        profile = analytic_profile("vgg16")
+        context = SolverContext(profile)
+        variants = [
+            dict(memory_limit_bytes=LIMIT),
+            dict(memory_limit_bytes=LIMIT, tp_degrees=(1, 2)),
+            dict(memory_limit_bytes=LIMIT, tp_degrees=(1, 2, 4)),
+            dict(tp_degrees=(1, 2)),
+            dict(),
+        ]
+        # Interleave two passes so every variant both writes and re-reads
+        # warm state that a colliding namespace would cross-contaminate.
+        for _ in range(2):
+            for kwargs in variants:
+                warm = PipeDreamOptimizer(
+                    profile, TOPO, context=context, **kwargs
+                ).solve(16)
+                assert_same_plan(warm, cold_solve(profile, 16, **kwargs))
+
+    def test_degenerate_menu_shares_the_default_namespace(self):
+        """``tp_degrees=(1,)`` is the disabled axis: it must warm-hit the
+        rows a plain query populated (one bound build, not two)."""
+        profile = analytic_profile("vgg16")
+        context = SolverContext(profile)
+        plain = PipeDreamOptimizer(
+            profile, TOPO, memory_limit_bytes=LIMIT, context=context
+        ).solve(16)
+        before = context.stats()["bound_misses"]
+        degenerate = PipeDreamOptimizer(
+            profile, TOPO, memory_limit_bytes=LIMIT, tp_degrees=(1,),
+            context=context,
+        ).solve(16)
+        assert_same_plan(degenerate, plain)
+        assert context.stats()["bound_misses"] == before
+
+    def test_tp_warm_solves_reuse_rows_across_counts(self):
+        profile = analytic_profile("vgg16")
+        context = SolverContext(profile)
+        for workers in (16, 8, 4):
+            warm = PipeDreamOptimizer(
+                profile, TOPO, memory_limit_bytes=LIMIT,
+                tp_degrees=(1, 2), context=context,
+            ).solve(workers)
+            assert_same_plan(
+                warm,
+                cold_solve(profile, workers, memory_limit_bytes=LIMIT,
+                           tp_degrees=(1, 2)),
+            )
+        assert context.stats()["row_hits"] > 0
+
+
 class TestContextSafety:
     def test_profile_mismatch_rejected(self):
         vgg = analytic_profile("vgg16")
